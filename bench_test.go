@@ -1,0 +1,247 @@
+// Package repro_test holds the benchmark harness: one testing.B
+// benchmark per paper table/figure (regenerating its data series at a
+// reduced scale), plus raw sorting benchmarks comparing the algorithms
+// on the paper's workloads.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-sized figure data comes from cmd/repro -scale paper; the
+// benchmarks here keep sizes small so the whole suite finishes in
+// minutes.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/sortalgo"
+)
+
+// benchScale returns the reduced scale used by the figure benchmarks.
+func benchScale() experiments.Scale {
+	sc := experiments.SmallScale()
+	sc.AlgoN = 20000
+	sc.TuneN = 50000
+	sc.MaxSizeSweep = 100000
+	sc.SystemOps = 40
+	sc.SystemBatch = 200
+	sc.MemTableSize = 3000
+	sc.LSTMPoints = 1500
+	sc.MCPoints = 100000
+	return sc
+}
+
+// --- Raw sorting benchmarks (the paper's core comparison) ---------------
+
+// benchSort measures one algorithm on one dataset, paying the copy
+// outside the timer.
+func benchSort(b *testing.B, algoName string, s *dataset.Series) {
+	algo := sortalgo.MustGet(algoName)
+	times := make([]int64, s.Len())
+	values := make([]float64, s.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(times, s.Times)
+		copy(values, s.Values)
+		p := core.NewPairs(times, values)
+		b.StartTimer()
+		algo(p)
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	const n = 100000 // the paper's memtable-sized comparison arrays
+	datasets := map[string]*dataset.Series{
+		"AbsNormal_1_1":   dataset.AbsNormal(n, 1, 1, 1),
+		"AbsNormal_1_4":   dataset.AbsNormal(n, 1, 4, 1),
+		"LogNormal_1_2":   dataset.LogNormal(n, 1, 2, 1),
+		"citibike-201808": dataset.CitiBike201808(n, 1),
+		"samsung-s10":     dataset.SamsungS10(n, 1),
+		"ordered":         dataset.Ordered(n, 1),
+	}
+	for _, ds := range []string{"ordered", "AbsNormal_1_1", "AbsNormal_1_4", "LogNormal_1_2", "citibike-201808", "samsung-s10"} {
+		for _, algo := range sortalgo.PaperNames() {
+			b.Run(fmt.Sprintf("%s/%s", ds, algo), func(b *testing.B) {
+				benchSort(b, algo, datasets[ds])
+			})
+		}
+	}
+}
+
+// BenchmarkBlockSize is the Figure 8b ablation as a bench: Backward-
+// Sort at fixed block sizes, including the degenerate endpoints.
+func BenchmarkBlockSize(b *testing.B) {
+	s := dataset.CitiBike201808(100000, 1)
+	for _, L := range []int{16, 256, 4096, 65536, 100000} {
+		b.Run(fmt.Sprintf("L%d", L), func(b *testing.B) {
+			algo := func(x core.Sortable) { core.BackwardSort(x, core.Options{FixedBlockSize: L}) }
+			times := make([]int64, s.Len())
+			values := make([]float64, s.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(times, s.Times)
+				copy(values, s.Values)
+				p := core.NewPairs(times, values)
+				b.StartTimer()
+				algo(p)
+			}
+		})
+	}
+}
+
+// --- One benchmark per paper figure --------------------------------------
+
+func BenchmarkFig02MergeMoves(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2(sc)
+	}
+}
+
+func BenchmarkFig05DeltaTauPDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(sc)
+	}
+}
+
+func BenchmarkEx06IIRTheory(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Example6(sc)
+	}
+}
+
+func BenchmarkFig08aIIRvsBlockSize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8a(sc)
+	}
+}
+
+func BenchmarkFig08bBlockSizeTuning(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8b(sc)
+	}
+}
+
+func BenchmarkFig09AbsNormalSigma(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(sc)
+	}
+}
+
+func BenchmarkFig10LogNormalSigma(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(sc)
+	}
+}
+
+func BenchmarkFig11RealWorld(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(sc)
+	}
+}
+
+func BenchmarkFig12ArraySize(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12(sc)
+	}
+}
+
+// benchSystem runs one system figure group end to end (engine + bench
+// harness), producing the three metrics of Figures 13–21 for that
+// group. One iteration is a full grid, so these are the heavy benches.
+func benchSystem(b *testing.B, specs []experiments.SystemSpec) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		set, err := experiments.RunSystemGroup(specs, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = set.ThroughputTables("t")
+		_ = set.FlushTables("f")
+		_ = set.LatencyTables("l")
+	}
+}
+
+func BenchmarkFig13_16_19AbsNormalSystem(b *testing.B) {
+	benchSystem(b, experiments.AbsNormalSpecs()[:1]) // one panel per iteration
+}
+
+func BenchmarkFig14_17_20LogNormalSystem(b *testing.B) {
+	benchSystem(b, experiments.LogNormalSpecs()[:1])
+}
+
+func BenchmarkFig15_18_21RealWorldSystem(b *testing.B) {
+	benchSystem(b, experiments.RealWorldSpecs()[:1])
+}
+
+func BenchmarkFig22LSTMDownstream(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig22b(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches -----------------------------------------------------
+
+func BenchmarkAblationTheta(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationTheta(sc)
+	}
+}
+
+func BenchmarkAblationL0(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationL0(sc)
+	}
+}
+
+func BenchmarkAblationIIREstimate(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationIIREstimate(sc)
+	}
+}
+
+// BenchmarkAblationStraightVsBackwardMerge times the two merge
+// strategies head to head (the Figure 2 mechanism, as wall time).
+func BenchmarkAblationStraightVsBackwardMerge(b *testing.B) {
+	s := dataset.LogNormal(100000, 1, 1, 3)
+	run := func(b *testing.B, sortFn func(core.Sortable)) {
+		times := make([]int64, s.Len())
+		values := make([]float64, s.Len())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(times, s.Times)
+			copy(values, s.Values)
+			p := core.NewPairs(times, values)
+			b.StartTimer()
+			sortFn(p)
+		}
+	}
+	b.Run("straight", func(b *testing.B) {
+		run(b, func(x core.Sortable) { sortalgo.StraightMergeFrom(x, 256) })
+	})
+	b.Run("backward", func(b *testing.B) {
+		run(b, func(x core.Sortable) { core.BackwardSort(x, core.Options{FixedBlockSize: 256}) })
+	})
+}

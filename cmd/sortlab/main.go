@@ -1,0 +1,89 @@
+// Command sortlab runs the algorithm-level experiments of the paper
+// (Figures 2, 5, 8–12 and the ablations) and prints each figure's data
+// as a TSV table.
+//
+// Usage:
+//
+//	sortlab -fig 9 -scale paper
+//	sortlab -fig 8a
+//	sortlab -fig ablation
+//	sortlab -fig all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 5, ex6, 8a, 8b, 9, 10, 11, 12, ablation, all")
+	scale := flag.String("scale", "small", "workload scale: small, medium or paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.SmallScale()
+	case "medium":
+		sc = experiments.MediumScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "sortlab: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	tables, err := run(*fig, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortlab: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Print(os.Stdout)
+	}
+}
+
+func run(fig string, sc experiments.Scale) ([]*experiments.Table, error) {
+	switch fig {
+	case "2":
+		return []*experiments.Table{experiments.Fig2(sc)}, nil
+	case "5":
+		return []*experiments.Table{experiments.Fig5(sc)}, nil
+	case "ex6":
+		return []*experiments.Table{experiments.Example6(sc)}, nil
+	case "8a":
+		return []*experiments.Table{experiments.Fig8a(sc)}, nil
+	case "8b":
+		return []*experiments.Table{experiments.Fig8b(sc)}, nil
+	case "9":
+		return experiments.Fig9(sc), nil
+	case "10":
+		return experiments.Fig10(sc), nil
+	case "11":
+		return []*experiments.Table{experiments.Fig11(sc)}, nil
+	case "12":
+		return experiments.Fig12(sc), nil
+	case "ablation":
+		return []*experiments.Table{
+			experiments.AblationTheta(sc),
+			experiments.AblationL0(sc),
+			experiments.AblationIIREstimate(sc),
+			experiments.AblationArrayLen(sc),
+		}, nil
+	case "all":
+		var out []*experiments.Table
+		for _, f := range []string{"2", "5", "ex6", "8a", "8b", "9", "10", "11", "12", "ablation"} {
+			ts, err := run(f, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q", fig)
+	}
+}

@@ -1,0 +1,170 @@
+// Command tsbench is the IoTDB-benchmark analog: it drives the storage
+// engine (in-process, or a remote tsdbd over TCP) with a mixed
+// write/query workload and reports the paper's system metrics. It
+// regenerates the data of Figures 13–21.
+//
+// Run one cell:
+//
+//	tsbench -dataset lognormal -mu 1 -sigma 4 -write-pct 0.9 -algo backward
+//
+// Run a full figure group (all panels × write percentages × paper
+// algorithms):
+//
+//	tsbench -fig 13            # AbsNormal throughput (+16/19 metrics)
+//	tsbench -fig 15 -scale paper
+//
+// Against a remote server:
+//
+//	tsbench -addr 127.0.0.1:6668 -dataset samsung-s10 -write-pct 0.75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/rpc"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure group to regenerate: 13, 14, 15, 16, 17, 18, 19, 20, 21 (empty = single cell)")
+	scale := flag.String("scale", "small", "workload scale: small or paper")
+	dataset := flag.String("dataset", "lognormal", "dataset: absnormal, lognormal, or a real-world name")
+	mu := flag.Float64("mu", 1, "delay distribution μ")
+	sigma := flag.Float64("sigma", 2, "delay distribution σ")
+	writePct := flag.Float64("write-pct", 0.9, "fraction of operations that are writes")
+	algo := flag.String("algo", "backward", "sorting algorithm")
+	ops := flag.Int("ops", 400, "total operations")
+	batch := flag.Int("batch", 500, "points per write batch")
+	clients := flag.Int("clients", 4, "concurrent clients")
+	devices := flag.Int("devices", 4, "simulated devices")
+	sensorsPerDevice := flag.Int("sensors-per-device", 1, "sensors (memtable chunks) per device")
+	memtable := flag.Int("memtable", 100000, "memtable flush threshold (points)")
+	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
+	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
+	flag.Parse()
+
+	if *fig != "" {
+		if err := runFigure(*fig, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cell := cellConfig{
+		addr: *addr, dir: *dir, dataset: *dataset, algo: *algo,
+		mu: *mu, sigma: *sigma, writePct: *writePct,
+		ops: *ops, batch: *batch, clients: *clients, memtable: *memtable,
+		devices: *devices, sensorsPerDevice: *sensorsPerDevice,
+	}
+	if err := runCell(cell); err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cellConfig carries one single-cell run's flags.
+type cellConfig struct {
+	addr, dir, dataset, algo      string
+	mu, sigma, writePct           float64
+	ops, batch, clients, memtable int
+	devices, sensorsPerDevice     int
+}
+
+func runFigure(fig, scale string) error {
+	var sc experiments.Scale
+	switch scale {
+	case "small":
+		sc = experiments.SmallScale()
+	case "medium":
+		sc = experiments.MediumScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	var specs []experiments.SystemSpec
+	switch fig {
+	case "13", "16", "19":
+		specs = experiments.AbsNormalSpecs()
+	case "14", "17", "20":
+		specs = experiments.LogNormalSpecs()
+	case "15", "18", "21":
+		specs = experiments.RealWorldSpecs()
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	set, err := experiments.RunSystemGroup(specs, sc)
+	if err != nil {
+		return err
+	}
+	var tables []*experiments.Table
+	switch fig {
+	case "13", "14", "15":
+		tables = set.ThroughputTables("fig" + fig)
+	case "16", "17", "18":
+		tables = set.FlushTables("fig" + fig)
+	case "19", "20", "21":
+		tables = set.LatencyTables("fig" + fig)
+	}
+	for _, t := range tables {
+		t.Print(os.Stdout)
+	}
+	return nil
+}
+
+func runCell(cc cellConfig) error {
+	var target bench.Target
+	if cc.addr != "" {
+		c, err := rpc.Dial(cc.addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		target = c
+	} else {
+		dir := cc.dir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "tsbench-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		eng, err := engine.Open(engine.Config{Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		target = bench.EngineTarget{E: eng}
+	}
+	res, err := bench.Run(target, bench.Config{
+		WritePercent:     cc.writePct,
+		BatchSize:        cc.batch,
+		Operations:       cc.ops,
+		Devices:          cc.devices,
+		SensorsPerDevice: cc.sensorsPerDevice,
+		Dataset:          cc.dataset,
+		Mu:               cc.mu,
+		Sigma:            cc.sigma,
+		Clients:          cc.clients,
+		Seed:             1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset=%s algo=%s write_pct=%.2f devices=%d sensors/device=%d\n",
+		cc.dataset, cc.algo, cc.writePct, cc.devices, cc.sensorsPerDevice)
+	fmt.Printf("  ops: %d writes, %d queries\n", res.WriteOps, res.QueryOps)
+	fmt.Printf("  points: %d written, %d queried\n", res.PointsWritten, res.PointsQueried)
+	fmt.Printf("  query throughput: %.0f points/s (avg query %.3f ms, p50 %.3f, p95 %.3f, p99 %.3f)\n",
+		res.QueryThroughput, res.AvgQueryMillis, res.P50QueryMillis, res.P95QueryMillis, res.P99QueryMillis)
+	fmt.Printf("  flushes: %d, avg flush %.3f ms (sorting %.3f ms)\n", res.FlushCount, res.AvgFlushMs, res.AvgSortMs)
+	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
+	fmt.Printf("  total test latency: %v\n", res.TotalLatency)
+	return nil
+}

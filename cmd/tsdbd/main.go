@@ -1,0 +1,62 @@
+// Command tsdbd runs the storage engine as a standalone TCP server, so
+// tsbench can drive it client-server the way IoTDB-benchmark drives an
+// IoTDB server.
+//
+//	tsdbd -addr 127.0.0.1:6668 -dir ./data -algo backward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6668", "listen address")
+	dir := flag.String("dir", "", "data directory (required)")
+	algo := flag.String("algo", "backward", "sorting algorithm")
+	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points)")
+	arrayLen := flag.Int("arraylen", 32, "TVList array length")
+	walOn := flag.Bool("wal", false, "enable the write-ahead log")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tsdbd: -dir is required")
+		os.Exit(2)
+	}
+	eng, err := engine.Open(engine.Config{
+		Dir:          *dir,
+		MemTableSize: *memtable,
+		ArrayLen:     *arrayLen,
+		Algorithm:    *algo,
+		WAL:          *walOn,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := rpc.NewServer(eng)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d)\n", bound, *algo, *memtable)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tsdbd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbd: server close: %v\n", err)
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbd: engine close: %v\n", err)
+		os.Exit(1)
+	}
+}

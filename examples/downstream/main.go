@@ -1,0 +1,54 @@
+// Downstream: the paper's Section VI-E application — train the
+// from-scratch LSTM forecaster on the same series in arrival
+// (disordered) order and in time (ordered) order, showing why
+// downstream analytics need sorted time series.
+//
+//	go run ./examples/downstream
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/lstm"
+)
+
+func main() {
+	const n = 6000
+	fmt.Println("LSTM(input=10, hidden=2), 70/30 train/test, LogNormal(1,σ) delays")
+	fmt.Printf("%-8s %12s %12s %14s\n", "sigma", "train MSE", "test MSE", "ordered test")
+	for _, sigma := range []float64{0, 0.5, 1, 2, 4} {
+		series := dataset.LogNormal(n, 1, sigma, 11)
+
+		// Disordered: values in arrival order, as a system without
+		// sorting would hand them to the model.
+		dis, err := lstm.TrainForecast(series.Values, lstm.Config{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Ordered: the same records sorted by timestamp first.
+		type tv struct {
+			t int64
+			v float64
+		}
+		pairs := make([]tv, series.Len())
+		for i := range pairs {
+			pairs[i] = tv{series.Times[i], series.Values[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].t < pairs[b].t })
+		orderedVals := make([]float64, len(pairs))
+		for i := range pairs {
+			orderedVals[i] = pairs[i].v
+		}
+		ord, err := lstm.TrainForecast(orderedVals, lstm.Config{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-8g %12.4f %12.4f %14.4f\n", sigma, dis.TrainMSE, dis.TestMSE, ord.TestMSE)
+	}
+	fmt.Println("\nordered test MSE stays flat across σ; disordered degrades as σ grows.")
+}

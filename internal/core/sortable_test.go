@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairsBasics(t *testing.T) {
+	p := NewPairs([]int64{3, 1, 2}, []string{"c", "a", "b"})
+	if p.Len() != 3 || p.Time(0) != 3 {
+		t.Fatal("Len/Time wrong")
+	}
+	p.Swap(0, 1)
+	if p.Times[0] != 1 || p.Values[0] != "a" || p.Times[1] != 3 || p.Values[1] != "c" {
+		t.Fatal("Swap tore records apart")
+	}
+	p.Move(2, 0)
+	if p.Times[0] != 2 || p.Values[0] != "b" {
+		t.Fatal("Move wrong")
+	}
+	p.EnsureScratch(2)
+	p.Save(1, 0)
+	if p.ScratchTime(0) != 3 {
+		t.Fatal("ScratchTime wrong")
+	}
+	p.Restore(0, 2)
+	if p.Times[2] != 3 || p.Values[2] != "c" {
+		t.Fatal("Restore wrong")
+	}
+}
+
+func TestNewPairsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPairs length mismatch should panic")
+		}
+	}()
+	NewPairs([]int64{1}, []int{})
+}
+
+func TestEnsureScratchGrows(t *testing.T) {
+	p := NewPairs(make([]int64, 10), make([]int, 10))
+	p.EnsureScratch(4)
+	p.Save(0, 3)
+	p.EnsureScratch(2) // must not shrink
+	p.Save(0, 3)
+	p.EnsureScratch(100)
+	p.Save(0, 99)
+}
+
+func TestCounterCounts(t *testing.T) {
+	p := NewPairs([]int64{2, 1}, []int{0, 1})
+	c := NewCounter(p)
+	c.Time(0)
+	c.Swap(0, 1)
+	c.EnsureScratch(5)
+	c.Save(0, 0)
+	c.Restore(0, 1)
+	c.Move(0, 1)
+	if c.TimeReads != 1 || c.Swaps != 1 || c.Saves != 1 || c.Restores != 1 || c.Moves != 1 {
+		t.Fatalf("counter wrong: %+v", c)
+	}
+	if c.MaxScratch != 5 {
+		t.Fatalf("MaxScratch = %d, want 5", c.MaxScratch)
+	}
+	if got := c.TotalMoves(); got != 3+1+1+1 {
+		t.Fatalf("TotalMoves = %d, want 6", got)
+	}
+	if c.ScratchTime(0) != p.ScratchTime(0) {
+		t.Fatal("Counter.ScratchTime does not delegate")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(NewPairs(nil, []int{})) {
+		t.Fatal("empty not sorted?")
+	}
+	if !IsSorted(NewPairs([]int64{1, 1, 2}, []int{0, 1, 2})) {
+		t.Fatal("ties should be sorted")
+	}
+	if IsSorted(NewPairs([]int64{2, 1}, []int{0, 1})) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestQuicksortQuick(t *testing.T) {
+	f := func(times []int64) bool {
+		orig := make([]int64, len(times))
+		copy(orig, times)
+		p := makePairs(times)
+		Quicksort(p)
+		if !IsSorted(p) {
+			return false
+		}
+		sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+		for i, v := range p.Times {
+			if v != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionSortQuick(t *testing.T) {
+	f := func(times []int64) bool {
+		if len(times) > 500 {
+			times = times[:500]
+		}
+		orig := make([]int64, len(times))
+		copy(orig, times)
+		p := makePairs(times)
+		InsertionSort(p)
+		if !IsSorted(p) {
+			return false
+		}
+		sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+		for i, v := range p.Times {
+			if v != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionSortAdaptive(t *testing.T) {
+	// On sorted input, insertion sort performs zero record movement.
+	times := make([]int64, 1000)
+	for i := range times {
+		times[i] = int64(i)
+	}
+	c := NewCounter(makePairs(times))
+	InsertionSort(c)
+	if c.Swaps+c.Moves+c.Saves+c.Restores != 0 {
+		t.Fatalf("insertion sort moved records on sorted input: %+v", c)
+	}
+}
+
+func TestQuicksortRangeSubrange(t *testing.T) {
+	times := []int64{9, 8, 5, 4, 3, 2, 1, 0}
+	p := makePairs(times)
+	QuicksortRange(p, 2, 6) // sort only [5,4,3,2]
+	want := []int64{9, 8, 2, 3, 4, 5, 1, 0}
+	for i, v := range p.Times {
+		if v != want[i] {
+			t.Fatalf("subrange sort: got %v, want %v", p.Times, want)
+		}
+	}
+}
+
+func TestQuicksortLargeAdversarial(t *testing.T) {
+	// Organ-pipe and constant inputs historically break naive
+	// quicksorts (stack depth / quadratic partitions).
+	n := 100000
+	organ := make([]int64, n)
+	for i := range organ {
+		if i < n/2 {
+			organ[i] = int64(i)
+		} else {
+			organ[i] = int64(n - i)
+		}
+	}
+	p := makePairs(organ)
+	Quicksort(p)
+	if !IsSorted(p) {
+		t.Fatal("organ pipe unsorted")
+	}
+	flat := make([]int64, n) // all zero
+	p2 := makePairs(flat)
+	Quicksort(p2)
+	if !IsSorted(p2) {
+		t.Fatal("constant input unsorted")
+	}
+}

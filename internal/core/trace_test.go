@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTraceAccountsBlocksAndMerges(t *testing.T) {
+	// 10 blocks of 100; delay-only input with small delays: merges
+	// can't exceed boundaries, overlap totals are consistent.
+	orig := delayedTimes(1000, 3, 13)
+	p := makePairs(orig)
+	tr := BackwardSort(p, Options{FixedBlockSize: 100})
+	if tr.Blocks != 10 {
+		t.Fatalf("blocks = %d", tr.Blocks)
+	}
+	if tr.Merges > tr.Blocks-1 {
+		t.Fatalf("merges %d exceed boundaries %d", tr.Merges, tr.Blocks-1)
+	}
+	if tr.Merges > 0 && tr.OverlapTotal <= 0 {
+		t.Fatal("merges recorded but no overlap")
+	}
+	if int64(tr.MaxOverlap) > tr.OverlapTotal {
+		t.Fatal("max overlap exceeds total")
+	}
+	if tr.TailTotal < 0 || (tr.Merges > 0 && tr.TailTotal == 0) {
+		t.Fatalf("tail accounting wrong: %+v", tr)
+	}
+}
+
+func TestTracePartialLastBlock(t *testing.T) {
+	// n not divisible by L: the partial block must be counted and
+	// sorted correctly.
+	orig := delayedTimes(1037, 5, 3)
+	p := makePairs(orig)
+	tr := BackwardSort(p, Options{FixedBlockSize: 64})
+	if tr.Blocks != (1037+63)/64 {
+		t.Fatalf("blocks = %d", tr.Blocks)
+	}
+	checkSortedPermutation(t, p, orig)
+}
+
+func TestBackwardSortTinyInputs(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		times := make([]int64, n)
+		for i := range times {
+			times[i] = int64(n - i)
+		}
+		p := makePairs(times)
+		tr := BackwardSort(p, Options{})
+		if !IsSorted(p) {
+			t.Fatalf("n=%d unsorted", n)
+		}
+		if n < 2 && tr.Merges != 0 {
+			t.Fatalf("n=%d: phantom merges", n)
+		}
+	}
+}
+
+func TestCounterTotalMovesSwapWeight(t *testing.T) {
+	// Heapsort-style swap-only algorithms must be charged 3 moves per
+	// swap so move counts are comparable with shift-based ones.
+	p := makePairs([]int64{3, 2, 1})
+	c := NewCounter(p)
+	c.Swap(0, 2)
+	if c.TotalMoves() != 3 {
+		t.Fatalf("TotalMoves after one swap = %d", c.TotalMoves())
+	}
+}
+
+func TestBackwardSortRespectsTiesAcrossBlocks(t *testing.T) {
+	// Equal timestamps spanning a block boundary must all survive.
+	times := []int64{1, 2, 3, 4, 5, 5, 5, 5, 3, 3, 9, 10}
+	orig := append([]int64(nil), times...)
+	p := makePairs(times)
+	BackwardSort(p, Options{FixedBlockSize: 4})
+	checkSortedPermutation(t, p, orig)
+}

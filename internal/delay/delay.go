@@ -1,0 +1,260 @@
+// Package delay implements the delay-time distributions of Definition 5
+// in the paper: the order of an ingested time series is determined by
+// the generation time t plus an i.i.d. delay τ drawn from a
+// distribution D. The package also carries the analytic results of
+// Section IV where they exist in closed form, most importantly the
+// tail of the delay difference Δτ = τ_i − τ_j, which by Proposition 2
+// equals the expected interval inversion ratio: E[α_L] = F̄_Δτ(L).
+package delay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a delay-time distribution D in the sense of
+// Definition 5. Delays are expressed in units of the generation
+// interval (the paper normalizes the interval to 1).
+type Distribution interface {
+	// Name identifies the distribution in experiment output,
+	// e.g. "LogNormal(1,2)".
+	Name() string
+	// Sample draws one delay. Delays are always >= 0 (delay-only).
+	Sample(r *rand.Rand) float64
+}
+
+// TailedDistribution is implemented by distributions whose delay
+// difference tail F̄_Δτ(L) = P(Δτ > L) is known in closed form.
+type TailedDistribution interface {
+	Distribution
+	// DeltaTauTail returns F̄_Δτ(L) = P(Δτ > L), which by
+	// Proposition 2 equals the expected interval inversion ratio
+	// with interval L.
+	DeltaTauTail(L float64) float64
+}
+
+// Constant is the degenerate distribution τ ≡ C. With C constant every
+// point is shifted equally, so the arrival order is exactly the
+// generation order: a fully sorted series.
+type Constant struct{ C float64 }
+
+// Name implements Distribution.
+func (c Constant) Name() string { return fmt.Sprintf("Constant(%g)", c.C) }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*rand.Rand) float64 { return c.C }
+
+// DeltaTauTail implements TailedDistribution: Δτ ≡ 0.
+func (c Constant) DeltaTauTail(L float64) float64 {
+	if L < 0 {
+		return 1
+	}
+	return 0
+}
+
+// Exponential is τ ~ E(λ), the worked Example 6 of the paper:
+// f_Δτ(t) = (λ/2)·e^{−λ|t|} and E[α_L] = e^{−λL}/2.
+type Exponential struct{ Lambda float64 }
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return fmt.Sprintf("Exponential(%g)", e.Lambda) }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Lambda }
+
+// DeltaTauTail returns the closed form of Example 6,
+// E[α_L] = e^{−λL}/2 for L >= 0.
+func (e Exponential) DeltaTauTail(L float64) float64 {
+	if L < 0 {
+		return 1 - 0.5*math.Exp(e.Lambda*L)
+	}
+	return 0.5 * math.Exp(-e.Lambda*L)
+}
+
+// DeltaTauPDF returns the probability density of the delay difference
+// Δτ at t, f_Δτ(t) = (λ/2)·e^{−λ|t|} (Figure 5 of the paper). By
+// Proposition 1 it is an even function.
+func (e Exponential) DeltaTauPDF(t float64) float64 {
+	return 0.5 * e.Lambda * math.Exp(-e.Lambda*math.Abs(t))
+}
+
+// AbsNormal is τ = |N(μ,σ)|, the AbsNormal synthetic dataset of the
+// paper (borrowed from the Patience Sort evaluation).
+type AbsNormal struct{ Mu, Sigma float64 }
+
+// Name implements Distribution.
+func (a AbsNormal) Name() string { return fmt.Sprintf("AbsNormal(%g,%g)", a.Mu, a.Sigma) }
+
+// Sample implements Distribution.
+func (a AbsNormal) Sample(r *rand.Rand) float64 {
+	return math.Abs(r.NormFloat64()*a.Sigma + a.Mu)
+}
+
+// LogNormal is τ ~ exp(N(μ,σ)), the LogNormal synthetic dataset of the
+// paper. σ = 0 degenerates to the constant delay e^μ (fully ordered),
+// matching the paper's "LogNormal(1,0) means no delayed points".
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Name implements Distribution.
+func (l LogNormal) Name() string { return fmt.Sprintf("LogNormal(%g,%g)", l.Mu, l.Sigma) }
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(r.NormFloat64()*l.Sigma + l.Mu)
+}
+
+// DiscreteUniform is P(τ = k) = 1/(K+1) for k ∈ {0,…,K}, the
+// distribution of the paper's Example 7 (K = 3 there, giving
+// E(Q) = E(Δτ | Δτ ≥ 0) = 5/8).
+type DiscreteUniform struct{ K int }
+
+// Name implements Distribution.
+func (d DiscreteUniform) Name() string { return fmt.Sprintf("DiscreteUniform{0..%d}", d.K) }
+
+// Sample implements Distribution.
+func (d DiscreteUniform) Sample(r *rand.Rand) float64 {
+	return float64(r.Intn(d.K + 1))
+}
+
+// DeltaTauTail returns P(Δτ > L) for integer-valued Δτ with the
+// triangular PMF of the difference of two independent uniforms:
+// P(Δτ = d) = (K+1−|d|)/(K+1)² for |d| ≤ K.
+func (d DiscreteUniform) DeltaTauTail(L float64) float64 {
+	n := float64(d.K + 1)
+	sum := 0.0
+	for dd := -d.K; dd <= d.K; dd++ {
+		if float64(dd) > L {
+			sum += (n - math.Abs(float64(dd))) / (n * n)
+		}
+	}
+	return sum
+}
+
+// MeanNonNegDeltaTau returns E(Δτ | Δτ ≥ 0) computed as Σ_{k≥0} F̄(k)
+// (Equation 20), the expected overlap length bound of Proposition 4.
+func (d DiscreteUniform) MeanNonNegDeltaTau() float64 {
+	sum := 0.0
+	for k := 0; k <= d.K; k++ {
+		sum += d.DeltaTauTail(float64(k))
+	}
+	return sum
+}
+
+// Mixture draws from A with probability P and otherwise from B. It is
+// used to model sensors where most points arrive in order and a small
+// fraction are delayed (the Samsung-style datasets).
+type Mixture struct {
+	P    float64 // probability of drawing from A
+	A, B Distribution
+}
+
+// Name implements Distribution.
+func (m Mixture) Name() string {
+	return fmt.Sprintf("Mixture(%.3g*%s + %.3g*%s)", m.P, m.A.Name(), 1-m.P, m.B.Name())
+}
+
+// Sample implements Distribution.
+func (m Mixture) Sample(r *rand.Rand) float64 {
+	if r.Float64() < m.P {
+		return m.A.Sample(r)
+	}
+	return m.B.Sample(r)
+}
+
+// Truncated clamps samples of Inner to at most Max. It keeps
+// heavy-tailed models inside the "not-too-distant" regime that the
+// separation policy guarantees in Apache IoTDB (extreme delays are
+// routed to the unsequence memtable and never reach the sorter).
+type Truncated struct {
+	Inner Distribution
+	Max   float64
+}
+
+// Name implements Distribution.
+func (t Truncated) Name() string { return fmt.Sprintf("Trunc(%s,%g)", t.Inner.Name(), t.Max) }
+
+// Sample implements Distribution.
+func (t Truncated) Sample(r *rand.Rand) float64 {
+	v := t.Inner.Sample(r)
+	if v > t.Max {
+		return t.Max
+	}
+	return v
+}
+
+// Pareto is a heavy-tailed delay, τ = Xm·U^(−1/α) for U ~ Uniform(0,1):
+// the power-law tails seen when network outages back up deliveries.
+// α <= 1 has infinite mean — exactly the regime the separation policy
+// exists to cut off (wrap in Truncated for the sorter's input).
+type Pareto struct {
+	Xm    float64 // scale (minimum delay), > 0
+	Alpha float64 // tail exponent, > 0
+}
+
+// Name implements Distribution.
+func (p Pareto) Name() string { return fmt.Sprintf("Pareto(%g,%g)", p.Xm, p.Alpha) }
+
+// Sample implements Distribution.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // (0, 1]
+	return p.Xm * math.Pow(u, -1/p.Alpha)
+}
+
+// ClockSkew models the clock-skew disorder source of Section II: a
+// fraction P of points come from a device whose clock lags by Skew
+// intervals (plus jitter), the rest arrive with small jitter only.
+// Unlike pure network delay, skew shifts points by a near-constant
+// amount, producing long runs of displaced points.
+type ClockSkew struct {
+	P      float64 // fraction of skewed points
+	Skew   float64 // lag of the skewed device's clock, in intervals
+	Jitter float64 // |N(0, Jitter)| noise on every point
+}
+
+// Name implements Distribution.
+func (c ClockSkew) Name() string {
+	return fmt.Sprintf("ClockSkew(p=%g,skew=%g,jitter=%g)", c.P, c.Skew, c.Jitter)
+}
+
+// Sample implements Distribution.
+func (c ClockSkew) Sample(r *rand.Rand) float64 {
+	d := math.Abs(r.NormFloat64() * c.Jitter)
+	if r.Float64() < c.P {
+		d += c.Skew
+	}
+	return d
+}
+
+// EmpiricalDeltaTauTail estimates F̄_Δτ(L) by Monte Carlo with n draws
+// of the pair (τ_i, τ_j). It is used for distributions without a
+// closed-form tail and in tests validating Proposition 2.
+func EmpiricalDeltaTauTail(d Distribution, L float64, n int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	count := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(r)-d.Sample(r) > L {
+			count++
+		}
+	}
+	return float64(count) / float64(n)
+}
+
+// MeanNonNegDeltaTauMC estimates E(Δτ | Δτ ≥ 0)·P(Δτ ≥ 0)⁻¹-free
+// quantity E(Δτ⁺ restricted): precisely Σ contribution used by
+// Proposition 4, i.e. E[Δτ · 1{Δτ ≥ 0}] / P(Δτ ≥ 0).
+func MeanNonNegDeltaTauMC(d Distribution, n int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		dt := d.Sample(r) - d.Sample(r)
+		if dt >= 0 {
+			sum += dt
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,217 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{C: 3}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := c.Sample(r); got != 3 {
+			t.Fatalf("Sample = %g, want 3", got)
+		}
+	}
+	if c.DeltaTauTail(0) != 0 || c.DeltaTauTail(-1) != 1 {
+		t.Fatal("Constant tail wrong")
+	}
+}
+
+func TestExponentialClosedFormExample6(t *testing.T) {
+	// Example 6 of the paper: λ=2 gives E[α_1] = 1/(2e^2) ≈ 0.067668
+	// and E[α_5] = 1/(2e^10)… the paper prints α_5 = 1/(2e^5) with
+	// λ=1-scaled exponent; our closed form is e^{−λL}/2.
+	e := Exponential{Lambda: 2}
+	if got, want := e.DeltaTauTail(1), 1/(2*math.E*math.E); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tail(1) = %g, want %g", got, want)
+	}
+	e1 := Exponential{Lambda: 1}
+	if got, want := e1.DeltaTauTail(5), 1/(2*math.Exp(5)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tail(5) = %g, want %g", got, want)
+	}
+}
+
+func TestExponentialTailMatchesMonteCarlo(t *testing.T) {
+	// Proposition 2 sanity: Monte Carlo Δτ tail matches closed form.
+	e := Exponential{Lambda: 2}
+	for _, L := range []float64{0, 1, 2} {
+		mc := EmpiricalDeltaTauTail(e, L, 400000, 42)
+		cf := e.DeltaTauTail(L)
+		if math.Abs(mc-cf) > 0.004 {
+			t.Errorf("L=%g: MC tail %g vs closed form %g", L, mc, cf)
+		}
+	}
+}
+
+func TestExponentialPDFEven(t *testing.T) {
+	// Proposition 1: f_Δτ is an even function.
+	e := Exponential{Lambda: 3}
+	for _, x := range []float64{0.1, 0.5, 1, 2.5} {
+		if math.Abs(e.DeltaTauPDF(x)-e.DeltaTauPDF(-x)) > 1e-15 {
+			t.Fatalf("PDF not even at %g", x)
+		}
+	}
+	// Integrates to ~1.
+	sum := 0.0
+	const dx = 1e-3
+	for x := -12.0; x < 12.0; x += dx {
+		sum += e.DeltaTauPDF(x) * dx
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("PDF integrates to %g, want 1", sum)
+	}
+}
+
+func TestAbsNormalNonNegative(t *testing.T) {
+	d := AbsNormal{Mu: 1, Sigma: 4}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		if d.Sample(r) < 0 {
+			t.Fatal("AbsNormal produced a negative delay")
+		}
+	}
+}
+
+func TestLogNormalPositiveAndDegenerate(t *testing.T) {
+	d := LogNormal{Mu: 1, Sigma: 2}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		if d.Sample(r) <= 0 {
+			t.Fatal("LogNormal produced a non-positive delay")
+		}
+	}
+	// σ=0 is the constant e^μ: every delay equal, fully ordered.
+	d0 := LogNormal{Mu: 1, Sigma: 0}
+	want := math.E
+	for i := 0; i < 100; i++ {
+		if got := d0.Sample(r); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LogNormal(1,0) sample %g, want e", got)
+		}
+	}
+}
+
+func TestDiscreteUniformExample7(t *testing.T) {
+	// Example 7: K=3 gives E(Q) = E(Δτ|Δτ≥0) = 5/8, and the three
+	// summed tails F̄(1)+F̄(2)+F̄(3)… the closed check: Σ_{k≥0}F̄(k).
+	d := DiscreteUniform{K: 3}
+	if got := d.MeanNonNegDeltaTau(); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("E(Δτ|Δτ≥0) = %g, want 5/8", got)
+	}
+	// Individual strict tails P(Δτ > k); the 6/16, 3/16, 1/16 terms
+	// of the paper's Eq. 22 are these at k = 0, 1, 2.
+	wants := map[int]float64{0: 6.0 / 16, 1: 3.0 / 16, 2: 1.0 / 16, 3: 0}
+	for L, w := range wants {
+		if got := d.DeltaTauTail(float64(L)); math.Abs(got-w) > 1e-12 {
+			t.Errorf("tail(%d) = %g, want %g", L, got, w)
+		}
+	}
+}
+
+func TestDiscreteUniformTailMatchesMC(t *testing.T) {
+	d := DiscreteUniform{K: 3}
+	for _, L := range []float64{0, 1, 2, 3} {
+		mc := EmpiricalDeltaTauTail(d, L, 300000, 5)
+		cf := d.DeltaTauTail(L)
+		if math.Abs(mc-cf) > 0.005 {
+			t.Errorf("L=%g: MC %g vs closed %g", L, mc, cf)
+		}
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m := Mixture{P: 0.75, A: Constant{C: 0}, B: Constant{C: 9}}
+	r := rand.New(rand.NewSource(3))
+	zeros := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch m.Sample(r) {
+		case 0:
+			zeros++
+		case 9:
+		default:
+			t.Fatal("mixture produced a value from neither component")
+		}
+	}
+	frac := float64(zeros) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("mixture P estimate %g, want 0.75", frac)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	tr := Truncated{Inner: Exponential{Lambda: 0.01}, Max: 5}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		if v := tr.Sample(r); v > 5 {
+			t.Fatalf("truncated sample %g exceeds max", v)
+		}
+	}
+}
+
+func TestMeanNonNegDeltaTauMC(t *testing.T) {
+	d := DiscreteUniform{K: 3}
+	got := MeanNonNegDeltaTauMC(d, 400000, 11)
+	// E[Δτ | Δτ >= 0]: mass at 0 is 4/16, 1:3/16, 2:2/16, 3:1/16 →
+	// conditional mean = (0*4+1*3+2*2+3*1)/10 = 1.
+	if math.Abs(got-1.0) > 0.02 {
+		t.Fatalf("conditional mean = %g, want 1.0", got)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	p := Pareto{Xm: 2, Alpha: 3}
+	r := rand.New(rand.NewSource(6))
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := p.Sample(r)
+		if v < 2 {
+			t.Fatalf("Pareto sample %g below scale", v)
+		}
+		sum += v
+	}
+	// Mean of Pareto(2,3) is α·xm/(α−1) = 3.
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Pareto mean %g, want 3", mean)
+	}
+}
+
+func TestClockSkew(t *testing.T) {
+	c := ClockSkew{P: 0.3, Skew: 50, Jitter: 0.5}
+	r := rand.New(rand.NewSource(6))
+	skewed := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := c.Sample(r)
+		if v < 0 {
+			t.Fatal("negative delay")
+		}
+		if v >= 40 {
+			skewed++
+		}
+	}
+	frac := float64(skewed) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("skewed fraction %g, want 0.3", frac)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		d    Distribution
+		want string
+	}{
+		{Constant{C: 1}, "Constant(1)"},
+		{Exponential{Lambda: 2}, "Exponential(2)"},
+		{AbsNormal{Mu: 1, Sigma: 4}, "AbsNormal(1,4)"},
+		{LogNormal{Mu: 0, Sigma: 1}, "LogNormal(0,1)"},
+		{DiscreteUniform{K: 3}, "DiscreteUniform{0..3}"},
+	}
+	for _, c := range cases {
+		if got := c.d.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

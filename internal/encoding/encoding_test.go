@@ -1,0 +1,287 @@
+package encoding
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTS2DiffRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{5},
+		{-7, -7, -7},
+		{1, 2, 3, 4, 5},
+		{1000, 2000, 1500, 9},
+		{math.MinInt64, math.MaxInt64, 0},
+	}
+	for _, c := range cases {
+		enc := AppendTS2Diff(nil, c)
+		got, n, err := DecodeTS2Diff(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%v: consumed %d of %d", c, n, len(enc))
+		}
+		if len(got) != len(c) {
+			t.Fatalf("%v: got %v", c, got)
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Fatalf("%v: got %v", c, got)
+			}
+		}
+	}
+}
+
+func TestTS2DiffQuick(t *testing.T) {
+	f := func(vals []int64) bool {
+		enc := AppendTS2Diff(nil, vals)
+		got, _, err := DecodeTS2Diff(enc)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTS2DiffCompressesSorted(t *testing.T) {
+	times := make([]int64, 10000)
+	for i := range times {
+		times[i] = int64(i) * 1000
+	}
+	enc := AppendTS2Diff(nil, times)
+	if len(enc) > 2*len(times)+16 {
+		t.Fatalf("sorted timestamps encoded to %d bytes (%.1f B/value)", len(enc), float64(len(enc))/float64(len(times)))
+	}
+}
+
+func TestTS2DiffCorrupt(t *testing.T) {
+	enc := AppendTS2Diff(nil, []int64{1, 2, 3})
+	if _, _, err := DecodeTS2Diff(enc[:len(enc)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated input accepted: %v", err)
+	}
+	if _, _, err := DecodeTS2Diff(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("empty input accepted")
+	}
+	// Absurd count.
+	if _, _, err := DecodeTS2Diff([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestGorillaRoundTrip(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{0},
+		{1.5},
+		{1.5, 1.5, 1.5, 1.5},
+		{1, 2, 4, 8, 16},
+		{0, -0.0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+		{3.14159, 3.14160, 3.14161, 3.15},
+	}
+	for _, c := range cases {
+		enc := AppendGorilla(nil, c)
+		got, n, err := DecodeGorilla(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%v: consumed %d of %d", c, n, len(enc))
+		}
+		if len(got) != len(c) {
+			t.Fatalf("%v: got %v", c, got)
+		}
+		for i := range c {
+			if math.Float64bits(got[i]) != math.Float64bits(c[i]) {
+				t.Fatalf("%v: value %d round-tripped to %v", c, i, got[i])
+			}
+		}
+	}
+}
+
+func TestGorillaNaN(t *testing.T) {
+	enc := AppendGorilla(nil, []float64{1, math.NaN(), 2})
+	got, _, err := DecodeGorilla(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[1]) || got[0] != 1 || got[2] != 2 {
+		t.Fatalf("NaN round trip: %v", got)
+	}
+}
+
+func TestGorillaQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		enc := AppendGorilla(nil, vals)
+		got, n, err := DecodeGorilla(enc)
+		if err != nil || n != len(enc) || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGorillaCompressesSmoothSignals(t *testing.T) {
+	// A slowly varying sensor signal should cost well under 8 B/value.
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 20 + math.Sin(float64(i)/100)
+	}
+	enc := AppendGorilla(nil, vals)
+	perValue := float64(len(enc)) / float64(n)
+	// A transcendental signal still churns most mantissa bits, so the
+	// win is modest — but it must beat raw 8 B/value.
+	if perValue > 7.5 {
+		t.Fatalf("gorilla did not compress a smooth signal: %.2f B/value", perValue)
+	}
+	// Constant signals approach 1 bit per value.
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 42
+	}
+	encC := AppendGorilla(nil, constant)
+	if float64(len(encC))/float64(n) > 0.5 {
+		t.Fatalf("gorilla constant signal: %.2f B/value", float64(len(encC))/float64(n))
+	}
+}
+
+func TestGorillaCorrupt(t *testing.T) {
+	enc := AppendGorilla(nil, []float64{1, 2, 3, 4})
+	for _, cut := range []int{1, 3, len(enc) - 1} {
+		if _, _, err := DecodeGorilla(enc[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d accepted: %v", cut, err)
+		}
+	}
+	if _, _, err := DecodeGorilla(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestGorillaCorruptFuzz(t *testing.T) {
+	// Random corruption must produce errors or wrong values — never a
+	// panic or an infinite loop.
+	r := rand.New(rand.NewSource(3))
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+	}
+	enc := AppendGorilla(nil, vals)
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), enc...)
+		mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		_, _, _ = DecodeGorilla(mut) // must simply not crash
+	}
+}
+
+func TestRLEBoolRoundTrip(t *testing.T) {
+	cases := [][]bool{
+		nil,
+		{true},
+		{false},
+		{false, false, true, true, true, false},
+		{true, false, true, false},
+	}
+	for _, c := range cases {
+		enc := AppendRLEBool(nil, c)
+		got, n, err := DecodeRLEBool(enc)
+		if err != nil || n != len(enc) || len(got) != len(c) {
+			t.Fatalf("%v: got %v, n=%d, err=%v", c, got, n, err)
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Fatalf("%v: got %v", c, got)
+			}
+		}
+	}
+}
+
+func TestRLEBoolQuick(t *testing.T) {
+	f := func(vals []bool) bool {
+		enc := AppendRLEBool(nil, vals)
+		got, _, err := DecodeRLEBool(enc)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEBoolCorrupt(t *testing.T) {
+	enc := AppendRLEBool(nil, []bool{true, true, false})
+	if _, _, err := DecodeRLEBool(enc[:1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated RLE accepted")
+	}
+	// A run longer than the declared count.
+	bad := []byte{2, 5} // count=2 but first run=5
+	if _, _, err := DecodeRLEBool(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("overflowing run accepted")
+	}
+}
+
+func TestPlainFloat64RoundTrip(t *testing.T) {
+	vals := []float64{1.5, -2.25, math.Inf(1), 0}
+	enc := AppendPlainFloat64(nil, vals)
+	got, n, err := DecodePlainFloat64(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if _, _, err := DecodePlainFloat64(enc[:5]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated plain accepted")
+	}
+}
+
+func TestBitWriterReader(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0b101, 3)
+	w.writeBits(0xFFFF, 16)
+	w.writeBit(0)
+	w.writeBit(1)
+	r := &bitReader{buf: w.buf}
+	if v, _ := r.readBits(3); v != 0b101 {
+		t.Fatalf("3 bits = %b", v)
+	}
+	if v, _ := r.readBits(16); v != 0xFFFF {
+		t.Fatalf("16 bits = %x", v)
+	}
+	if v, _ := r.readBit(); v != 0 {
+		t.Fatal("bit != 0")
+	}
+	if v, _ := r.readBit(); v != 1 {
+		t.Fatal("bit != 1")
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/tsfile"
+)
+
+// Compact merges every flushed file — sequence and unsequence — into a
+// single sorted sequence file and deletes the originals. This is the
+// LSM-side complement of the separation policy (the paper's companion
+// study "Separation or Not", ICDE 2022): out-of-order data parked in
+// unsequence files is eventually folded back so reads stop paying a
+// merge penalty. Queries remain correct throughout; newest-wins
+// semantics for rewritten timestamps are preserved.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	old := append([]*fileHandle(nil), e.files...)
+	e.mu.Unlock()
+	if len(old) < 2 {
+		return nil // nothing to fold
+	}
+
+	// Collect per-sensor records, newest file last so that a simple
+	// "later write wins" pass resolves duplicates (e.files is ordered
+	// oldest → newest, and unsequence rewrites land in later files).
+	type rec struct {
+		t    int64
+		v    float64
+		rank int
+	}
+	perSensor := make(map[string][]rec)
+	for rank, fh := range old {
+		for _, m := range fh.index {
+			ts, vs, err := fh.reader.ReadChunk(m)
+			if err != nil {
+				return fmt.Errorf("engine: compact read %s: %w", fh.path, err)
+			}
+			for i := range ts {
+				perSensor[m.Sensor] = append(perSensor[m.Sensor], rec{ts[i], vs[i], rank})
+			}
+		}
+	}
+
+	e.mu.Lock()
+	e.fileSeq++
+	seq := e.fileSeq
+	e.mu.Unlock()
+	path := filepath.Join(e.cfg.Dir, fmt.Sprintf("seq-%06d.gtsf", seq))
+	w, err := tsfile.Create(path)
+	if err != nil {
+		return err
+	}
+	sensors := make([]string, 0, len(perSensor))
+	for s := range perSensor {
+		sensors = append(sensors, s)
+	}
+	sort.Strings(sensors)
+	for _, sensor := range sensors {
+		recs := perSensor[sensor]
+		sort.SliceStable(recs, func(a, b int) bool {
+			if recs[a].t != recs[b].t {
+				return recs[a].t < recs[b].t
+			}
+			return recs[a].rank < recs[b].rank
+		})
+		ts := make([]int64, 0, len(recs))
+		vs := make([]float64, 0, len(recs))
+		for _, r := range recs {
+			if n := len(ts); n > 0 && ts[n-1] == r.t {
+				vs[n-1] = r.v // later rank wins
+				continue
+			}
+			ts = append(ts, r.t)
+			vs = append(vs, r.v)
+		}
+		if err := w.WriteChunk(sensor, ts, vs); err != nil {
+			w.Close()
+			os.Remove(path)
+			return fmt.Errorf("engine: compact write: %w", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	r, err := tsfile.Open(path)
+	if err != nil {
+		return err
+	}
+	newHandle := &fileHandle{path: path, reader: r, index: r.Index()}
+
+	// Swap: replace the compacted inputs with the new file, keeping
+	// any files a concurrent flush published in the meantime.
+	compacted := make(map[*fileHandle]bool, len(old))
+	for _, fh := range old {
+		compacted[fh] = true
+	}
+	e.mu.Lock()
+	kept := []*fileHandle{newHandle}
+	for _, fh := range e.files {
+		if !compacted[fh] {
+			kept = append(kept, fh)
+		}
+	}
+	e.files = kept
+	e.mu.Unlock()
+
+	var firstErr error
+	for _, fh := range old {
+		if err := fh.reader.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.Remove(fh.path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FileCount reports how many flushed files the engine currently holds
+// (compaction reduces it to one).
+func (e *Engine) FileCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.files)
+}

@@ -1,0 +1,682 @@
+// Package engine implements the miniature time series storage engine
+// the system experiments run against — a Go stand-in for the parts of
+// Apache IoTDB the paper exercises (Section V):
+//
+//   - writes land in a *working* memtable (one TVList per sensor);
+//   - the *separation policy*: a point whose timestamp is not newer
+//     than the sensor's last flushed time goes to the *unsequence*
+//     memtable, so the sequence path only ever sees delays into the
+//     not-too-distant future (Section II);
+//   - when the memtable is full it becomes immutable (*flushing*) and
+//     is drained asynchronously: each TVList is sorted with the
+//     configured algorithm, then encoded and written to a TsFile-like
+//     chunk file — the flush-time metric of Figures 16–18 measures
+//     exactly this state-transition-to-disk window;
+//   - queries take the engine lock (blocking writes, as in IoTDB,
+//     Section VI-D1), sort the working TVLists they touch, and merge
+//     memtable data with flushed files.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memtable"
+	"repro/internal/sortalgo"
+	"repro/internal/tsfile"
+	"repro/internal/tvlist"
+	"repro/internal/wal"
+)
+
+// DefaultMemTableSize is the flush threshold in points. The paper uses
+// 100,000 as "the appropriate memory points size in the IoTDB".
+const DefaultMemTableSize = 100000
+
+// Config configures an Engine.
+type Config struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// MemTableSize is the point-count flush threshold across all
+	// sensors (default DefaultMemTableSize).
+	MemTableSize int
+	// ArrayLen is the TVList array length (default 32).
+	ArrayLen int
+	// Algorithm names the sorting algorithm (sortalgo registry;
+	// default "backward").
+	Algorithm string
+	// SyncFlush makes flushes run inline on the triggering Insert,
+	// for deterministic tests. Production-style async is the default.
+	SyncFlush bool
+	// WAL enables the write-ahead log: every batch is logged before
+	// it is acknowledged, and unflushed memtable contents are
+	// replayed (and immediately flushed) on Open. Off by default —
+	// the paper's experiments do not exercise it.
+	WAL bool
+}
+
+// TV is one query result record.
+type TV struct {
+	T int64
+	V float64
+}
+
+// Stats is a snapshot of engine-side metrics.
+type Stats struct {
+	FlushCount     int
+	AvgFlushMillis float64 // mean wall time: state transition → file on disk
+	AvgSortMillis  float64 // mean sorting component of flushes
+	SeqPoints      int64   // points ingested via the sequence path
+	UnseqPoints    int64   // points diverted by the separation policy
+	Files          int
+	MemTablePoints int
+}
+
+// Engine is the storage engine. All methods are safe for concurrent
+// use.
+type Engine struct {
+	cfg  Config
+	algo sortalgo.Func
+
+	// mu is the engine lock. As in IoTDB, queries hold it while they
+	// sort and scan memtables, blocking writers.
+	mu          sync.Mutex
+	working     *memtable.MemTable // sequence writes
+	workingUn   *memtable.MemTable // unsequence writes (separation policy)
+	flushing    []*flushUnit
+	lastFlushed map[string]int64 // per-sensor separation watermark
+	latest      map[string]int64 // per-sensor max ingested time ("current")
+	files       []*fileHandle
+	fileSeq     int
+	walSeq      int
+	walSeg      *wal.Segment // active segment covering the working memtables
+	closed      bool
+
+	flushWG sync.WaitGroup
+
+	statsMu     sync.Mutex
+	flushTotal  time.Duration
+	sortTotal   time.Duration
+	flushCount  int
+	seqPoints   int64
+	unseqPoints int64
+	flushErr    error // first background flush failure, surfaced on Query/Close
+}
+
+// flushUnit is one immutable memtable pair being drained. Its mutex
+// serializes the drain's in-place sorting against concurrent queries.
+type flushUnit struct {
+	mu      sync.Mutex
+	seq     *memtable.MemTable
+	unseq   *memtable.MemTable
+	walSeg  *wal.Segment // segment covering this generation, if WAL is on
+	started time.Time
+}
+
+// fileHandle is one flushed file with its cached chunk index.
+type fileHandle struct {
+	path   string
+	reader *tsfile.Reader
+	index  []tsfile.ChunkMeta
+	unseq  bool
+}
+
+// Open creates or opens an engine over cfg.Dir. Flushed files from a
+// previous run are recovered: their indexes are loaded, the separation
+// watermarks restored from the sequence files, and their data becomes
+// queryable again. (Unflushed memtable contents are lost on crash — as
+// in an IoTDB deployment without its write-ahead log, which the
+// paper's experiments do not exercise.)
+func Open(cfg Config) (*Engine, error) {
+	if cfg.MemTableSize <= 0 {
+		cfg.MemTableSize = DefaultMemTableSize
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "backward"
+	}
+	algo, ok := sortalgo.Get(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown sort algorithm %q", cfg.Algorithm)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("engine: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		algo:        algo,
+		working:     memtable.New(cfg.ArrayLen),
+		workingUn:   memtable.New(cfg.ArrayLen),
+		lastFlushed: make(map[string]int64),
+		latest:      make(map[string]int64),
+	}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	if cfg.WAL {
+		if err := e.recoverWAL(); err != nil {
+			return nil, err
+		}
+		// The recovery flush may already have rotated a fresh active
+		// segment into place; only create one if it did not.
+		if e.walSeg == nil {
+			if err := e.newWALSegment(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// recoverWAL replays unflushed generations from leftover WAL segments
+// into the working memtables, flushes them to chunk files, and removes
+// the segments.
+func (e *Engine) recoverWAL() error {
+	segs, err := wal.Segments(e.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	// Seed the segment counter past every leftover so the recovery
+	// flush's fresh segment cannot collide with (and then delete) a
+	// live file.
+	for _, path := range segs {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.log", &seq); err == nil && seq > e.walSeq {
+			e.walSeq = seq
+		}
+	}
+	replayed := 0
+	for _, path := range segs {
+		err := wal.Replay(path, func(b wal.Batch) error {
+			replayed += len(b.Times)
+			return e.insertRouted(b.Sensor, b.Times, b.Values)
+		})
+		if err != nil {
+			return fmt.Errorf("engine: wal recovery: %w", err)
+		}
+	}
+	if replayed > 0 {
+		e.Flush() // make the replayed data durable as chunk files
+		if err := e.FlushError(); err != nil {
+			return err
+		}
+	}
+	for _, path := range segs {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newWALSegment starts a fresh active segment. Caller must ensure no
+// concurrent inserts (Open, or under e.mu via rotateLocked).
+func (e *Engine) newWALSegment() error {
+	e.walSeq++
+	seg, err := wal.Create(filepath.Join(e.cfg.Dir, fmt.Sprintf("wal-%09d.log", e.walSeq)))
+	if err != nil {
+		return err
+	}
+	e.walSeg = seg
+	return nil
+}
+
+// insertRouted routes points through the separation policy without WAL
+// logging (used by WAL replay itself).
+func (e *Engine) insertRouted(sensor string, times []int64, values []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	watermark, hasWatermark := e.lastFlushed[sensor]
+	for i, t := range times {
+		if hasWatermark && t <= watermark {
+			e.workingUn.Write(sensor, t, values[i])
+		} else {
+			e.working.Write(sensor, t, values[i])
+		}
+		if t > e.latest[sensor] {
+			e.latest[sensor] = t
+		}
+	}
+	return nil
+}
+
+// recover loads pre-existing flushed files from the data directory.
+func (e *Engine) recover() error {
+	entries, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".gtsf" {
+			continue
+		}
+		unseq := strings.HasPrefix(name, "unseq-")
+		if !unseq && !strings.HasPrefix(name, "seq-") {
+			continue
+		}
+		path := filepath.Join(e.cfg.Dir, name)
+		r, err := tsfile.Open(path)
+		if err != nil {
+			return fmt.Errorf("engine: recover %s: %w", name, err)
+		}
+		idx := r.Index()
+		e.files = append(e.files, &fileHandle{path: path, reader: r, index: idx, unseq: unseq})
+		for _, m := range idx {
+			if !unseq && m.MaxTime > e.lastFlushed[m.Sensor] {
+				e.lastFlushed[m.Sensor] = m.MaxTime
+			}
+			if m.MaxTime > e.latest[m.Sensor] {
+				e.latest[m.Sensor] = m.MaxTime
+			}
+		}
+		// Keep new flush files numbered after the recovered ones.
+		var seqNo int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(strings.TrimPrefix(name, "unseq-"), "seq-"), "%d.gtsf", &seqNo); err == nil {
+			if seqNo > e.fileSeq {
+				e.fileSeq = seqNo
+			}
+		}
+	}
+	return nil
+}
+
+// Insert ingests one point.
+func (e *Engine) Insert(sensor string, t int64, v float64) error {
+	return e.InsertBatch(sensor, []int64{t}, []float64{v})
+}
+
+// InsertBatch ingests a batch of points for one sensor (the benchmark
+// sends batches of 500, Section VI-A2). Points are routed through the
+// separation policy individually.
+func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) error {
+	if len(times) != len(values) {
+		return fmt.Errorf("engine: batch shape mismatch: %d times, %d values", len(times), len(values))
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: closed")
+	}
+	if e.walSeg != nil {
+		if err := e.walSeg.Append(sensor, times, values); err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: wal append: %w", err)
+		}
+	}
+	var seq, unseq int64
+	watermark, hasWatermark := e.lastFlushed[sensor]
+	for i, t := range times {
+		if hasWatermark && t <= watermark {
+			e.workingUn.Write(sensor, t, values[i])
+			unseq++
+		} else {
+			e.working.Write(sensor, t, values[i])
+			seq++
+		}
+		if t > e.latest[sensor] {
+			e.latest[sensor] = t
+		}
+	}
+	var unit *flushUnit
+	if e.working.Points()+e.workingUn.Points() >= e.cfg.MemTableSize {
+		unit = e.rotateLocked()
+	}
+	e.mu.Unlock()
+
+	e.statsMu.Lock()
+	e.seqPoints += seq
+	e.unseqPoints += unseq
+	e.statsMu.Unlock()
+
+	if unit != nil {
+		if e.cfg.SyncFlush {
+			e.drain(unit)
+		} else {
+			e.flushWG.Add(1)
+			go func() {
+				defer e.flushWG.Done()
+				e.drain(unit)
+			}()
+		}
+	}
+	return nil
+}
+
+// rotateLocked transitions the working memtables to flushing and
+// installs fresh ones. Caller holds e.mu.
+func (e *Engine) rotateLocked() *flushUnit {
+	if e.working.Empty() && e.workingUn.Empty() {
+		return nil
+	}
+	unit := &flushUnit{seq: e.working, unseq: e.workingUn, started: time.Now()}
+	unit.seq.MarkFlushing()
+	unit.unseq.MarkFlushing()
+	if e.cfg.WAL {
+		unit.walSeg = e.walSeg
+		if err := e.newWALSegment(); err != nil {
+			// Writes continue unlogged; surface the problem like a
+			// flush failure rather than dropping ingestion.
+			e.walSeg = nil
+			e.statsMu.Lock()
+			if e.flushErr == nil {
+				e.flushErr = err
+			}
+			e.statsMu.Unlock()
+		}
+	}
+	e.flushing = append(e.flushing, unit)
+	// Advance the separation watermark now: anything older than what
+	// is being flushed must go to the unsequence path from here on.
+	for _, s := range unit.seq.Sensors() {
+		if maxT := unit.seq.Chunk(s).MaxTime(); maxT > e.lastFlushed[s] {
+			e.lastFlushed[s] = maxT
+		}
+	}
+	e.working = memtable.New(e.cfg.ArrayLen)
+	e.workingUn = memtable.New(e.cfg.ArrayLen)
+	return unit
+}
+
+// drain sorts and writes one flushing unit to disk, then publishes the
+// resulting files and retires the unit. A failure mid-drain leaves the
+// unit in the flushing list (its data stays queryable from memory) and
+// records the error for Query/Close to surface.
+func (e *Engine) drain(unit *flushUnit) {
+	unit.mu.Lock()
+	var sortDur time.Duration
+	var handles []*fileHandle
+	fail := func(err error) {
+		unit.mu.Unlock()
+		e.statsMu.Lock()
+		if e.flushErr == nil {
+			e.flushErr = err
+		}
+		e.statsMu.Unlock()
+	}
+	for _, part := range []struct {
+		mt    *memtable.MemTable
+		unseq bool
+		kind  string
+	}{{unit.seq, false, "seq"}, {unit.unseq, true, "unseq"}} {
+		if part.mt.Empty() {
+			continue
+		}
+		e.mu.Lock()
+		e.fileSeq++
+		seq := e.fileSeq
+		e.mu.Unlock()
+		path := filepath.Join(e.cfg.Dir, fmt.Sprintf("%s-%06d.gtsf", part.kind, seq))
+		w, err := tsfile.Create(path)
+		if err != nil {
+			fail(fmt.Errorf("engine: flush create %s: %w", path, err))
+			return
+		}
+		for _, sensor := range part.mt.Sensors() {
+			chunk := part.mt.Chunk(sensor)
+			t0 := time.Now()
+			chunk.Sort(e.algo)
+			sortDur += time.Since(t0)
+			ts, vs := chunk.ToSlices()
+			if err := w.WriteChunk(sensor, ts, vs); err != nil {
+				fail(fmt.Errorf("engine: flush write %s: %w", path, err))
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			fail(fmt.Errorf("engine: flush close %s: %w", path, err))
+			return
+		}
+		r, err := tsfile.Open(path)
+		if err != nil {
+			fail(fmt.Errorf("engine: flush reopen %s: %w", path, err))
+			return
+		}
+		handles = append(handles, &fileHandle{path: path, reader: r, index: r.Index(), unseq: part.unseq})
+	}
+	unit.mu.Unlock()
+	elapsed := time.Since(unit.started)
+
+	e.mu.Lock()
+	e.files = append(e.files, handles...)
+	for i, u := range e.flushing {
+		if u == unit {
+			e.flushing = append(e.flushing[:i], e.flushing[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+
+	// The generation is durable as chunk files: its WAL segment is no
+	// longer needed.
+	if unit.walSeg != nil {
+		if err := unit.walSeg.Remove(); err != nil {
+			e.statsMu.Lock()
+			if e.flushErr == nil {
+				e.flushErr = err
+			}
+			e.statsMu.Unlock()
+		}
+	}
+
+	e.statsMu.Lock()
+	e.flushCount++
+	e.flushTotal += elapsed
+	e.sortTotal += sortDur
+	e.statsMu.Unlock()
+}
+
+// Flush forces the current working memtables to disk (synchronously).
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	unit := e.rotateLocked()
+	e.mu.Unlock()
+	if unit != nil {
+		e.drain(unit)
+	}
+}
+
+// Query returns every record of sensor with minT <= t <= maxT, in time
+// order. When the same timestamp appears in multiple generations the
+// newest write wins (unsequence over flushed, memtable over files).
+// Like IoTDB, the query sorts the working TVList it touches: the
+// engine lock is held across that sort, blocking writers — the
+// contention Figures 13–15 measure.
+func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
+	var sources [][]TV
+
+	if err := e.FlushError(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: closed")
+	}
+	// Oldest first: files, then flushing units, then working tables;
+	// within a generation, unsequence data is newer than sequence.
+	fileRefs := append([]*fileHandle(nil), e.files...)
+	unitRefs := append([]*flushUnit(nil), e.flushing...)
+	for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
+		if chunk := mt.Chunk(sensor); chunk != nil {
+			chunk.Sort(e.algo)
+			if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
+				sources = append(sources, out)
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	for _, unit := range unitRefs {
+		unit.mu.Lock()
+		for _, mt := range []*memtable.MemTable{unit.unseq, unit.seq} {
+			if chunk := mt.Chunk(sensor); chunk != nil {
+				chunk.Sort(e.algo)
+				if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
+					sources = append(sources, out)
+				}
+			}
+		}
+		unit.mu.Unlock()
+	}
+
+	// Files newest-first, so the rank-based dedup below gives a
+	// rewritten timestamp its most recent flushed value.
+	for i := len(fileRefs) - 1; i >= 0; i-- {
+		ts, vs, err := fileRefs[i].reader.QuerySensor(sensor, minT, maxT)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) > 0 {
+			out := make([]TV, len(ts))
+			for j := range ts {
+				out[j] = TV{ts[j], vs[j]}
+			}
+			sources = append(sources, out)
+		}
+	}
+
+	switch len(sources) {
+	case 0:
+		return nil, nil
+	case 1:
+		return dedupSorted(sources[0]), nil
+	}
+	// Newest-wins dedup: sources were gathered newest-first (working
+	// memtable before flushing units before files), so on equal
+	// timestamps keep the record from the earliest-listed source.
+	var all []TV
+	rank := make([]int, 0)
+	for si, src := range sources {
+		for _, tv := range src {
+			all = append(all, tv)
+			rank = append(rank, si)
+		}
+	}
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if all[ia].T != all[ib].T {
+			return all[ia].T < all[ib].T
+		}
+		return rank[ia] < rank[ib]
+	})
+	out := make([]TV, 0, len(all))
+	for _, i := range idx {
+		if len(out) > 0 && out[len(out)-1].T == all[i].T {
+			continue // an earlier (newer-source) record already holds this timestamp
+		}
+		out = append(out, all[i])
+	}
+	return out, nil
+}
+
+// dedupSorted collapses equal timestamps in a sorted result to one
+// record (a rewrite of the same timestamp within one generation).
+func dedupSorted(in []TV) []TV {
+	out := in[:0]
+	for i, tv := range in {
+		if i > 0 && out[len(out)-1].T == tv.T {
+			continue
+		}
+		out = append(out, tv)
+	}
+	return out
+}
+
+func scanChunk(chunk *tvlist.TVList[float64], minT, maxT int64) []TV {
+	var out []TV
+	chunk.ScanRange(minT, maxT, func(t int64, v float64) bool {
+		out = append(out, TV{t, v})
+		return true
+	})
+	return out
+}
+
+// LatestTime returns the newest ingested timestamp for sensor, used by
+// the benchmark's "time > current - window" queries.
+func (e *Engine) LatestTime(sensor string) (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.latest[sensor]
+	return t, ok
+}
+
+// Stats returns a metrics snapshot.
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	s := Stats{
+		FlushCount:  e.flushCount,
+		SeqPoints:   e.seqPoints,
+		UnseqPoints: e.unseqPoints,
+	}
+	if e.flushCount > 0 {
+		s.AvgFlushMillis = float64(e.flushTotal.Microseconds()) / 1000 / float64(e.flushCount)
+		s.AvgSortMillis = float64(e.sortTotal.Microseconds()) / 1000 / float64(e.flushCount)
+	}
+	e.statsMu.Unlock()
+	e.mu.Lock()
+	s.Files = len(e.files)
+	s.MemTablePoints = e.working.Points() + e.workingUn.Points()
+	e.mu.Unlock()
+	return s
+}
+
+// WaitFlushes blocks until every in-flight background flush has
+// finished (it does not force a new one; see Flush for that).
+func (e *Engine) WaitFlushes() { e.flushWG.Wait() }
+
+// FlushError returns the first background flush failure, if any.
+func (e *Engine) FlushError() error {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.flushErr
+}
+
+// Close flushes remaining data, waits for in-flight flushes, and
+// releases file handles.
+func (e *Engine) Close() error {
+	e.Flush()
+	e.flushWG.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	firstErr := e.FlushError()
+	if e.walSeg != nil {
+		// The active segment is empty (Flush above rotated the last
+		// writes into a drained unit), so it can go.
+		if err := e.walSeg.Remove(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		e.walSeg = nil
+	}
+	for _, fh := range e.files {
+		if err := fh.reader.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Algorithm returns the engine's configured sorting algorithm name.
+func (e *Engine) Algorithm() string { return e.cfg.Algorithm }
+
+// sortableGuard: the engine relies on TVList implementing
+// core.Sortable; keep the dependency explicit.
+var _ core.Sortable = (*tvlist.TVList[float64])(nil)

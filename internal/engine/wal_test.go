@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/wal"
+)
+
+// crash abandons an engine without Close, simulating a process crash:
+// memtable contents are lost, only chunk files and WAL segments
+// survive.
+func crash(e *Engine) {
+	e.WaitFlushes() // the "crash" happens after in-flight disk writes land
+}
+
+func TestWALRecoversUnflushedData(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 points — far below the flush threshold, so without the WAL
+	// they would all be lost.
+	s := dataset.LogNormal(100, 1, 2, 5)
+	for i := range s.Times {
+		if err := e1.Insert("s", s.Times[i], s.Values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash(e1)
+
+	e2, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	out, err := e2.Query("s", -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("recovered %d of 100 unflushed points", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].T > out[i].T {
+			t.Fatal("recovered data unsorted")
+		}
+	}
+}
+
+func TestWALMixedFlushedAndUnflushed(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 300, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dataset.AbsNormal(1000, 1, 2, 7)
+	for i := range s.Times {
+		if err := e1.Insert("s", s.Times[i], s.Values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1000 points with threshold 300: three generations flushed, 100
+	// points live only in WAL + memtable.
+	crash(e1)
+
+	e2, err := Open(Config{Dir: dir, MemTableSize: 300, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	out, err := e2.Query("s", -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("recovered %d of 1000 points", len(out))
+	}
+}
+
+func TestWALSegmentsRemovedAfterFlush(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir, MemTableSize: 100, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := e.Insert("s", int64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the active segment (current generation) may remain.
+	if len(segs) != 1 {
+		t.Fatalf("flushed generations left segments behind: %v", segs)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = wal.Segments(dir)
+	if len(segs) != 0 {
+		t.Fatalf("Close left segments: %v", segs)
+	}
+}
+
+func TestWALRecoveryIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e1.Insert("s", int64(i), float64(i))
+	}
+	crash(e1)
+
+	// Two successive recoveries must not duplicate data.
+	for round := 0; round < 2; round++ {
+		e, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Query("s", 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("round %d: %d points, want 50", round, len(out))
+		}
+		crash(e)
+	}
+}
+
+func TestWALDisabledWritesNoSegments(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir, MemTableSize: 100, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 250; i++ {
+		e.Insert("s", int64(i), 0)
+	}
+	e.Close()
+	segs, _ := wal.Segments(dir)
+	if len(segs) != 0 {
+		t.Fatalf("WAL disabled but segments exist: %v", segs)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*.gtsf")); len(matches) == 0 {
+		t.Fatal("no chunk files written")
+	}
+}
+
+func TestWALRewriteAfterRecoveryKeepsLatestValue(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Insert("s", 7, 1)
+	e1.Insert("s", 7, 2) // rewrite in the same generation
+	crash(e1)
+
+	e2, err := Open(Config{Dir: dir, MemTableSize: 1000, WAL: true, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	out, err := e2.Query("s", 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("duplicate timestamps after recovery: %+v", out)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/sortalgo"
+)
+
+// WritePercents are the operation mixes the paper sweeps
+// (Section VI-D); 1.0 has no queries, so throughput is absent there.
+var WritePercents = []float64{0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}
+
+// SystemSpec is one dataset panel of Figures 13–21.
+type SystemSpec struct {
+	Label     string
+	Dataset   string
+	Mu, Sigma float64
+}
+
+// AbsNormalSpecs are the four AbsNormal panels (Figures 13/16/19).
+func AbsNormalSpecs() []SystemSpec {
+	return []SystemSpec{
+		{"AbsNormal(1,1)", "absnormal", 1, 1},
+		{"AbsNormal(1,4)", "absnormal", 1, 4},
+		{"AbsNormal(4,1)", "absnormal", 4, 1},
+		{"AbsNormal(4,4)", "absnormal", 4, 4},
+	}
+}
+
+// LogNormalSpecs are the four LogNormal panels (Figures 14/17/20).
+func LogNormalSpecs() []SystemSpec {
+	return []SystemSpec{
+		{"LogNormal(1,1)", "lognormal", 1, 1},
+		{"LogNormal(1,4)", "lognormal", 1, 4},
+		{"LogNormal(4,1)", "lognormal", 4, 1},
+		{"LogNormal(4,4)", "lognormal", 4, 4},
+	}
+}
+
+// RealWorldSpecs are the four real-world panels (Figures 15/18/21).
+func RealWorldSpecs() []SystemSpec {
+	return []SystemSpec{
+		{"citibike-201808", "citibike-201808", 0, 0},
+		{"citibike-201902", "citibike-201902", 0, 0},
+		{"samsung-d5", "samsung-d5", 0, 0},
+		{"samsung-s10", "samsung-s10", 0, 0},
+	}
+}
+
+// SystemResultSet is the full grid of one system experiment group:
+// per dataset panel, per write percentage, per algorithm.
+type SystemResultSet struct {
+	Specs   []SystemSpec
+	Results map[string]map[float64]map[string]bench.Result // label -> pct -> algo
+}
+
+// RunSystemGroup runs the benchmark grid for one group of dataset
+// panels. Every (panel, write-percentage, algorithm) cell gets a fresh
+// engine so flush statistics do not bleed across cells.
+func RunSystemGroup(specs []SystemSpec, sc Scale) (*SystemResultSet, error) {
+	set := &SystemResultSet{Specs: specs, Results: make(map[string]map[float64]map[string]bench.Result)}
+	for _, spec := range specs {
+		set.Results[spec.Label] = make(map[float64]map[string]bench.Result)
+		for _, pct := range WritePercents {
+			set.Results[spec.Label][pct] = make(map[string]bench.Result)
+			for _, algo := range sortalgo.PaperNames() {
+				res, err := runSystemCell(spec, pct, algo, sc)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%.2f/%s: %w", spec.Label, pct, algo, err)
+				}
+				set.Results[spec.Label][pct][algo] = res
+			}
+		}
+	}
+	return set, nil
+}
+
+func runSystemCell(spec SystemSpec, pct float64, algo string, sc Scale) (bench.Result, error) {
+	dir, err := os.MkdirTemp("", "tsbench-*")
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := engine.Open(engine.Config{
+		Dir:          dir,
+		MemTableSize: sc.MemTableSize,
+		Algorithm:    algo,
+		// Synchronous flushes: on small machines (the CI box has one
+		// core) asynchronous drains time-slice against the writer
+		// goroutines and the measured per-flush wall time becomes
+		// scheduler noise rather than sorting cost. Inline flushing
+		// keeps the flush-time metric attributable to the algorithm;
+		// the flush still blocks ingestion exactly as IoTDB's sorting
+		// step does.
+		SyncFlush: true,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer eng.Close()
+	return bench.Run(bench.EngineTarget{E: eng}, bench.Config{
+		WritePercent:     pct,
+		BatchSize:        sc.SystemBatch,
+		Operations:       sc.SystemOps,
+		Devices:          4,
+		SensorsPerDevice: 1,
+		Dataset:          spec.Dataset,
+		Mu:               spec.Mu,
+		Sigma:            spec.Sigma,
+		WindowTicks:      int64(sc.MemTableSize) * 500, // neighborhood of "current"
+		Clients:          2,
+		Seed:             sc.Seed,
+	})
+}
+
+// metric extracts one figure's y-value from a benchmark result.
+type metric struct {
+	name   string
+	get    func(bench.Result) float64
+	format string
+	// skipWriteOnly: query throughput is undefined at write pct 1.0.
+	skipWriteOnly bool
+}
+
+var (
+	metricThroughput = metric{"query throughput (points/s)", func(r bench.Result) float64 { return r.QueryThroughput }, "%.0f", true}
+	metricFlush      = metric{"avg flush time (ms)", func(r bench.Result) float64 { return r.AvgFlushMs }, "%.3f", false}
+	metricSort       = metric{"avg sorting time per flush (ms)", func(r bench.Result) float64 { return r.AvgSortMs }, "%.3f", false}
+	metricLatency    = metric{"total test latency (s)", func(r bench.Result) float64 { return r.TotalLatency.Seconds() }, "%.3f", false}
+)
+
+// tables renders one metric across the grid, one table per panel —
+// matching the paper's 4-panel figures.
+func (s *SystemResultSet) tables(idPrefix string, m metric) []*Table {
+	var out []*Table
+	for _, spec := range s.Specs {
+		t := &Table{
+			ID:     fmt.Sprintf("%s-%s", idPrefix, spec.Label),
+			Title:  fmt.Sprintf("%s — %s", m.name, spec.Label),
+			Header: append([]string{"write_pct"}, sortalgo.PaperNames()...),
+		}
+		for _, pct := range WritePercents {
+			if m.skipWriteOnly && pct == 1.0 {
+				continue
+			}
+			row := []string{fmt.Sprintf("%.2f", pct)}
+			for _, algo := range sortalgo.PaperNames() {
+				row = append(row, fmt.Sprintf(m.format, m.get(s.Results[spec.Label][pct][algo])))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ThroughputTables renders Figures 13/14/15 from a result set.
+func (s *SystemResultSet) ThroughputTables(id string) []*Table { return s.tables(id, metricThroughput) }
+
+// FlushTables renders Figures 16/17/18: the wall flush time plus a
+// companion table isolating the sorting component — on this substrate
+// encode+I/O noise can mask the algorithm, and the sorting component
+// is the mechanism the paper's flush improvement comes from.
+func (s *SystemResultSet) FlushTables(id string) []*Table {
+	return append(s.tables(id, metricFlush), s.tables(id+"-sortonly", metricSort)...)
+}
+
+// LatencyTables renders Figures 19/20/21.
+func (s *SystemResultSet) LatencyTables(id string) []*Table { return s.tables(id, metricLatency) }

@@ -1,0 +1,336 @@
+// Package lstm implements the downstream application of the paper's
+// Section VI-E: a small LSTM forecaster (input size 10, hidden size 2,
+// as in the paper) trained to predict the next value of a time series,
+// used to show that out-of-order data degrades learning — the first
+// 70% of the series trains the network and the last 30% tests it,
+// reporting MSE for both.
+//
+// The network is written from scratch on float64 slices: forward pass,
+// backpropagation through time, and Adam updates. With hidden size 2
+// the matrices are tiny, so the pure-Go implementation is fast enough
+// to sweep the paper's σ values in tests.
+package lstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config configures a forecaster. Zero values select the paper's
+// setup.
+type Config struct {
+	InputSize  int     // window width fed per timestep (paper: 10)
+	HiddenSize int     // LSTM hidden units (paper: 2)
+	SeqLen     int     // BPTT unroll length (default 8)
+	Epochs     int     // training epochs (default 8)
+	LearnRate  float64 // Adam step size (default 0.01)
+	Seed       int64   // weight init & shuffling seed
+}
+
+func (c Config) withDefaults() Config {
+	if c.InputSize <= 0 {
+		c.InputSize = 10
+	}
+	if c.HiddenSize <= 0 {
+		c.HiddenSize = 2
+	}
+	if c.SeqLen <= 0 {
+		c.SeqLen = 8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.01
+	}
+	return c
+}
+
+// Network is an LSTM with a linear head producing one value.
+type Network struct {
+	cfg Config
+	// Gate weights: rows = 4*hidden (i, f, g, o stacked), cols =
+	// input+hidden. One flat slice, row-major.
+	w  []float64
+	b  []float64
+	wy []float64 // 1 x hidden output head
+	by float64
+
+	// Adam state.
+	mW, vW   []float64
+	mB, vB   []float64
+	mWy, vWy []float64
+	mBy, vBy float64
+	step     int
+}
+
+// NewNetwork initializes a network with small random weights.
+func NewNetwork(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	in := cfg.InputSize + cfg.HiddenSize
+	rows := 4 * cfg.HiddenSize
+	n := &Network{cfg: cfg}
+	n.w = make([]float64, rows*in)
+	scale := 1.0 / math.Sqrt(float64(in))
+	for i := range n.w {
+		n.w[i] = r.NormFloat64() * scale
+	}
+	n.b = make([]float64, rows)
+	// Forget-gate bias starts at 1, the standard trick for gradient
+	// flow early in training.
+	for h := 0; h < cfg.HiddenSize; h++ {
+		n.b[cfg.HiddenSize+h] = 1
+	}
+	n.wy = make([]float64, cfg.HiddenSize)
+	for i := range n.wy {
+		n.wy[i] = r.NormFloat64() * scale
+	}
+	n.mW = make([]float64, len(n.w))
+	n.vW = make([]float64, len(n.w))
+	n.mB = make([]float64, len(n.b))
+	n.vB = make([]float64, len(n.b))
+	n.mWy = make([]float64, len(n.wy))
+	n.vWy = make([]float64, len(n.wy))
+	return n
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// stepCache holds forward-pass intermediates for BPTT.
+type stepCache struct {
+	x          []float64 // input window
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64
+	c, h       []float64
+}
+
+// forward runs one timestep; returns new hidden/cell and the cache.
+func (n *Network) forward(x, hPrev, cPrev []float64) stepCache {
+	H := n.cfg.HiddenSize
+	in := n.cfg.InputSize + H
+	z := make([]float64, in)
+	copy(z, x)
+	copy(z[n.cfg.InputSize:], hPrev)
+	cache := stepCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), h: make([]float64, H),
+	}
+	for h := 0; h < H; h++ {
+		var ai, af, ag, ao float64
+		rowI := (0*H + h) * in
+		rowF := (1*H + h) * in
+		rowG := (2*H + h) * in
+		rowO := (3*H + h) * in
+		for k := 0; k < in; k++ {
+			zk := z[k]
+			ai += n.w[rowI+k] * zk
+			af += n.w[rowF+k] * zk
+			ag += n.w[rowG+k] * zk
+			ao += n.w[rowO+k] * zk
+		}
+		cache.i[h] = sigmoid(ai + n.b[0*H+h])
+		cache.f[h] = sigmoid(af + n.b[1*H+h])
+		cache.g[h] = math.Tanh(ag + n.b[2*H+h])
+		cache.o[h] = sigmoid(ao + n.b[3*H+h])
+		cache.c[h] = cache.f[h]*cPrev[h] + cache.i[h]*cache.g[h]
+		cache.h[h] = cache.o[h] * math.Tanh(cache.c[h])
+	}
+	return cache
+}
+
+// predictFrom maps a hidden state to the output value.
+func (n *Network) predictFrom(h []float64) float64 {
+	y := n.by
+	for k, w := range n.wy {
+		y += w * h[k]
+	}
+	return y
+}
+
+// Predict runs the network over a sequence of input windows and
+// returns the forecast after the last step.
+func (n *Network) Predict(seq [][]float64) float64 {
+	H := n.cfg.HiddenSize
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for _, x := range seq {
+		cache := n.forward(x, h, c)
+		h, c = cache.h, cache.c
+	}
+	return n.predictFrom(h)
+}
+
+// trainSeq runs forward + BPTT on one (sequence, target) sample and
+// applies an Adam step. Returns the squared error before the update.
+func (n *Network) trainSeq(seq [][]float64, target float64) float64 {
+	H := n.cfg.HiddenSize
+	in := n.cfg.InputSize + H
+	caches := make([]stepCache, len(seq))
+	h := make([]float64, H)
+	c := make([]float64, H)
+	for t, x := range seq {
+		caches[t] = n.forward(x, h, c)
+		h, c = caches[t].h, caches[t].c
+	}
+	pred := n.predictFrom(h)
+	diff := pred - target
+
+	// Gradients.
+	gW := make([]float64, len(n.w))
+	gB := make([]float64, len(n.b))
+	gWy := make([]float64, len(n.wy))
+	gBy := 2 * diff
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	for k := 0; k < H; k++ {
+		gWy[k] = 2 * diff * h[k]
+		dh[k] = 2 * diff * n.wy[k]
+	}
+	for t := len(seq) - 1; t >= 0; t-- {
+		cc := caches[t]
+		dhNext := make([]float64, H)
+		dcNext := make([]float64, H)
+		for hIdx := 0; hIdx < H; hIdx++ {
+			tanhC := math.Tanh(cc.c[hIdx])
+			do := dh[hIdx] * tanhC * cc.o[hIdx] * (1 - cc.o[hIdx])
+			dcTot := dc[hIdx] + dh[hIdx]*cc.o[hIdx]*(1-tanhC*tanhC)
+			di := dcTot * cc.g[hIdx] * cc.i[hIdx] * (1 - cc.i[hIdx])
+			df := dcTot * cc.cPrev[hIdx] * cc.f[hIdx] * (1 - cc.f[hIdx])
+			dg := dcTot * cc.i[hIdx] * (1 - cc.g[hIdx]*cc.g[hIdx])
+			dcNext[hIdx] = dcTot * cc.f[hIdx]
+
+			rows := [4]int{0*H + hIdx, 1*H + hIdx, 2*H + hIdx, 3*H + hIdx}
+			dGates := [4]float64{di, df, dg, do}
+			for gi := 0; gi < 4; gi++ {
+				row := rows[gi] * in
+				dgate := dGates[gi]
+				gB[rows[gi]] += dgate
+				for k := 0; k < n.cfg.InputSize; k++ {
+					gW[row+k] += dgate * cc.x[k]
+				}
+				for k := 0; k < H; k++ {
+					gW[row+n.cfg.InputSize+k] += dgate * cc.hPrev[k]
+					dhNext[k] += dgate * n.w[row+n.cfg.InputSize+k]
+				}
+			}
+		}
+		dh, dc = dhNext, dcNext
+	}
+
+	n.adam(gW, gB, gWy, gBy)
+	return diff * diff
+}
+
+// adam applies one Adam update.
+func (n *Network) adam(gW, gB, gWy []float64, gBy float64) {
+	n.step++
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	lr := n.cfg.LearnRate
+	bc1 := 1 - math.Pow(beta1, float64(n.step))
+	bc2 := 1 - math.Pow(beta2, float64(n.step))
+	upd := func(w, g, m, v []float64) {
+		for i := range w {
+			m[i] = beta1*m[i] + (1-beta1)*g[i]
+			v[i] = beta2*v[i] + (1-beta2)*g[i]*g[i]
+			w[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+		}
+	}
+	upd(n.w, gW, n.mW, n.vW)
+	upd(n.b, gB, n.mB, n.vB)
+	upd(n.wy, gWy, n.mWy, n.vWy)
+	n.mBy = beta1*n.mBy + (1-beta1)*gBy
+	n.vBy = beta2*n.vBy + (1-beta2)*gBy*gBy
+	n.by -= lr * (n.mBy / bc1) / (math.Sqrt(n.vBy/bc2) + eps)
+}
+
+// Sample is one training example: a sequence of input windows and the
+// next value to predict.
+type Sample struct {
+	Seq    [][]float64
+	Target float64
+}
+
+// WindowSamples slices a value series into forecasting samples: each
+// sample feeds seqLen consecutive windows of inputSize values and
+// predicts the value immediately after the last window. Values are
+// normalized by the caller if desired.
+func WindowSamples(values []float64, inputSize, seqLen int) []Sample {
+	span := inputSize + seqLen - 1 // values consumed by the windows
+	var out []Sample
+	for start := 0; start+span < len(values); start += seqLen {
+		seq := make([][]float64, seqLen)
+		for t := 0; t < seqLen; t++ {
+			seq[t] = values[start+t : start+t+inputSize]
+		}
+		out = append(out, Sample{Seq: seq, Target: values[start+span]})
+	}
+	return out
+}
+
+// Result reports a training run.
+type Result struct {
+	TrainMSE float64
+	TestMSE  float64
+}
+
+// TrainForecast trains on the first 70% of values and evaluates on the
+// last 30%, the protocol of the paper's Figure 22(b). Values are
+// standardized by the training split's mean and deviation.
+func TrainForecast(values []float64, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(values) < (cfg.InputSize+cfg.SeqLen+1)*4 {
+		return Result{}, fmt.Errorf("lstm: series too short: %d values", len(values))
+	}
+	cut := len(values) * 7 / 10
+
+	// Standardize on training statistics.
+	mean, std := 0.0, 0.0
+	for _, v := range values[:cut] {
+		mean += v
+	}
+	mean /= float64(cut)
+	for _, v := range values[:cut] {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(cut))
+	if std == 0 {
+		std = 1
+	}
+	norm := make([]float64, len(values))
+	for i, v := range values {
+		norm[i] = (v - mean) / std
+	}
+
+	train := WindowSamples(norm[:cut], cfg.InputSize, cfg.SeqLen)
+	test := WindowSamples(norm[cut:], cfg.InputSize, cfg.SeqLen)
+	if len(train) == 0 || len(test) == 0 {
+		return Result{}, fmt.Errorf("lstm: not enough samples (train %d, test %d)", len(train), len(test))
+	}
+
+	n := NewNetwork(cfg)
+	r := rand.New(rand.NewSource(cfg.Seed + 2))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := r.Perm(len(train))
+		for _, idx := range perm {
+			n.trainSeq(train[idx].Seq, train[idx].Target)
+		}
+	}
+
+	var res Result
+	for _, s := range train {
+		d := n.Predict(s.Seq) - s.Target
+		res.TrainMSE += d * d
+	}
+	res.TrainMSE /= float64(len(train))
+	for _, s := range test {
+		d := n.Predict(s.Seq) - s.Target
+		res.TestMSE += d * d
+	}
+	res.TestMSE /= float64(len(test))
+	return res, nil
+}

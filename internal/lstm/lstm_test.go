@@ -1,0 +1,173 @@
+package lstm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestWindowSamples(t *testing.T) {
+	values := make([]float64, 30)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	samples := WindowSamples(values, 4, 3)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	s := samples[0]
+	if len(s.Seq) != 3 || len(s.Seq[0]) != 4 {
+		t.Fatalf("sample shape wrong: %d x %d", len(s.Seq), len(s.Seq[0]))
+	}
+	// First sample: windows [0..3],[1..4],[2..5]; target = values[6].
+	if s.Seq[0][0] != 0 || s.Seq[2][3] != 5 || s.Target != 6 {
+		t.Fatalf("sample content wrong: %+v", s)
+	}
+	// Samples advance by seqLen.
+	if samples[1].Seq[0][0] != 3 {
+		t.Fatalf("stride wrong: %+v", samples[1].Seq[0])
+	}
+}
+
+func TestWindowSamplesTooShort(t *testing.T) {
+	if got := WindowSamples(make([]float64, 5), 4, 3); got != nil {
+		t.Fatalf("short series produced samples: %d", len(got))
+	}
+}
+
+func TestTrainForecastTooShort(t *testing.T) {
+	if _, err := TrainForecast(make([]float64, 10), Config{}); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestLearnsPredictableSignal(t *testing.T) {
+	// A clean sine must be learnable: test MSE far below the
+	// variance of the standardized signal (which is 1).
+	n := 2400
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 8)
+	}
+	res, err := TrainForecast(values, Config{Seed: 1, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestMSE > 0.3 {
+		t.Fatalf("failed to learn a sine: test MSE %g", res.TestMSE)
+	}
+	if res.TrainMSE <= 0 || res.TestMSE <= 0 {
+		t.Fatalf("degenerate MSE: %+v", res)
+	}
+}
+
+func TestDisorderDegradesForecast(t *testing.T) {
+	// Figure 22(b): ordered data trains better than heavily
+	// disordered data. Compare σ=0 (ordered) against σ=4.
+	n := 3000
+	ordered := dataset.LogNormal(n, 1, 0, 11)
+	disordered := dataset.LogNormal(n, 1, 4, 11)
+
+	resO, err := TrainForecast(ordered.Values, Config{Seed: 3, Epochs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := TrainForecast(disordered.Values, Config{Seed: 3, Epochs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resD.TestMSE <= resO.TestMSE {
+		t.Fatalf("disorder did not degrade the forecast: ordered %g vs disordered %g",
+			resO.TestMSE, resD.TestMSE)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	values := make([]float64, 800)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 5)
+	}
+	a, err := TrainForecast(values, Config{Seed: 9, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainForecast(values, Config{Seed: 9, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.InputSize != 10 || c.HiddenSize != 2 {
+		t.Fatalf("paper defaults wrong: %+v", c)
+	}
+	if c.SeqLen <= 0 || c.Epochs <= 0 || c.LearnRate <= 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{InputSize: 3, HiddenSize: 5, SeqLen: 2, Epochs: 1, LearnRate: 0.5}.withDefaults()
+	if c2.InputSize != 3 || c2.HiddenSize != 5 || c2.SeqLen != 2 || c2.Epochs != 1 || c2.LearnRate != 0.5 {
+		t.Fatalf("explicit config overridden: %+v", c2)
+	}
+}
+
+func TestConstantSeriesDoesNotDiverge(t *testing.T) {
+	// Standardization guards against zero variance; training must not
+	// produce NaNs.
+	values := make([]float64, 600)
+	for i := range values {
+		values[i] = 42
+	}
+	res, err := TrainForecast(values, Config{Seed: 5, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.TrainMSE) || math.IsNaN(res.TestMSE) {
+		t.Fatalf("NaN loss on constant series: %+v", res)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numeric gradient check on a tiny network: perturb each weight
+	// and compare the loss delta against the analytic gradient.
+	cfg := Config{InputSize: 3, HiddenSize: 2, SeqLen: 2, LearnRate: 1e-9, Seed: 4}.withDefaults()
+	n := NewNetwork(cfg)
+	seq := [][]float64{{0.1, -0.2, 0.3}, {0.4, 0.0, -0.5}}
+	target := 0.7
+
+	loss := func() float64 {
+		d := n.Predict(seq) - target
+		return d * d
+	}
+	// Analytic gradients: rerun trainSeq with ~zero LR so weights are
+	// (almost) unchanged, capturing gradients via finite differences
+	// of Adam's first-step behaviour is fragile; instead recompute
+	// them directly through a fresh copy.
+	// Finite differences against the loss for a few sampled weights:
+	const eps = 1e-6
+	for _, wi := range []int{0, 3, 7, len(n.w) - 1} {
+		orig := n.w[wi]
+		n.w[wi] = orig + eps
+		lPlus := loss()
+		n.w[wi] = orig - eps
+		lMinus := loss()
+		n.w[wi] = orig
+		numeric := (lPlus - lMinus) / (2 * eps)
+
+		// Analytic: capture by monkey-running trainSeq on a copy
+		// with LR so small the update is negligible, then measure
+		// the Adam first moment which equals 0.1*gradient.
+		cp := NewNetwork(cfg) // same seed → same weights
+		cp.trainSeq(seq, target)
+		analytic := cp.mW[wi] / 0.1 // m = (1-beta1)*g on step 1
+
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("gradient mismatch at w[%d]: numeric %g, analytic %g", wi, numeric, analytic)
+		}
+	}
+}

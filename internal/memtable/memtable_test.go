@@ -1,0 +1,65 @@
+package memtable
+
+import (
+	"testing"
+
+	"repro/internal/tvlist"
+)
+
+func TestWriteAndChunks(t *testing.T) {
+	m := New(0)
+	if m.State() != Working || !m.Empty() {
+		t.Fatal("fresh memtable should be empty and working")
+	}
+	m.Write("b", 2, 20)
+	m.Write("a", 1, 10)
+	m.Write("a", 3, 30)
+	if m.Points() != 3 {
+		t.Fatalf("Points = %d", m.Points())
+	}
+	if got := m.Sensors(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Sensors = %v", got)
+	}
+	a := m.Chunk("a")
+	if a.Len() != 2 {
+		t.Fatalf("chunk a Len = %d", a.Len())
+	}
+	if m.Chunk("missing") != nil {
+		t.Fatal("missing sensor should be nil")
+	}
+}
+
+func TestArrayLenPropagates(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 9; i++ {
+		m.Write("s", int64(i), 0)
+	}
+	if m.Chunk("s").MemoryArrays() != 3 {
+		t.Fatalf("arrays = %d, want 3", m.Chunk("s").MemoryArrays())
+	}
+	// Default length.
+	m2 := New(0)
+	m2.Write("s", 1, 1)
+	if m2.Chunk("s").MemoryArrays() != 1 {
+		t.Fatal("default array length broken")
+	}
+	_ = tvlist.DefaultArrayLen
+}
+
+func TestStateTransition(t *testing.T) {
+	m := New(0)
+	m.Write("s", 1, 1)
+	m.MarkFlushing()
+	if m.State() != Flushing {
+		t.Fatal("MarkFlushing did not transition")
+	}
+	if Working.String() != "working" || Flushing.String() != "flushing" || State(9).String() != "unknown" {
+		t.Fatal("State.String wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to flushing memtable should panic")
+		}
+	}()
+	m.Write("s", 2, 2)
+}

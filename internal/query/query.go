@@ -1,0 +1,138 @@
+// Package query implements windowed aggregation over time series —
+// the downstream analytics the paper motivates sorting with
+// (Section VI-E: "computing the average speed of an engine in every
+// minute" gives incorrect statistics on disordered data). Aggregations
+// run over the sorted record streams the engine's range queries
+// return, in a single pass.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Aggregator selects the per-window aggregate function.
+type Aggregator int
+
+// Supported aggregate functions.
+const (
+	Count Aggregator = iota
+	Sum
+	Avg
+	Min
+	Max
+	First
+	Last
+)
+
+// String returns the SQL-ish name of the aggregator.
+func (a Aggregator) String() string {
+	switch a {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case First:
+		return "first"
+	case Last:
+		return "last"
+	default:
+		return fmt.Sprintf("Aggregator(%d)", int(a))
+	}
+}
+
+// WindowResult is one aggregated window [Start, Start+Width).
+type WindowResult struct {
+	Start int64
+	Count int
+	Value float64
+}
+
+// AggregateWindows buckets the points into fixed windows
+// [startT + k·window, startT + (k+1)·window) for startT <= t < endT
+// and aggregates each. Points must be sorted by time (the engine
+// guarantees this); out-of-order input returns an error, because
+// silently aggregating disordered data is exactly the failure mode the
+// paper warns about. Empty windows are omitted.
+func AggregateWindows(points []engine.TV, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("query: window must be positive, got %d", window)
+	}
+	if endT < startT {
+		return nil, fmt.Errorf("query: empty range [%d, %d)", startT, endT)
+	}
+	var out []WindowResult
+	var cur *WindowResult
+	prevT := int64(0)
+	for i, p := range points {
+		if i > 0 && p.T < prevT {
+			return nil, fmt.Errorf("query: input not sorted at index %d (%d after %d)", i, p.T, prevT)
+		}
+		prevT = p.T
+		if p.T < startT || p.T >= endT {
+			continue
+		}
+		ws := startT + ((p.T-startT)/window)*window
+		if cur == nil || cur.Start != ws {
+			if cur != nil {
+				finalize(cur, agg)
+				out = append(out, *cur)
+			}
+			cur = &WindowResult{Start: ws}
+		}
+		accumulate(cur, p.V, agg)
+	}
+	if cur != nil {
+		finalize(cur, agg)
+		out = append(out, *cur)
+	}
+	return out, nil
+}
+
+func accumulate(w *WindowResult, v float64, agg Aggregator) {
+	w.Count++
+	switch agg {
+	case Count:
+		w.Value = float64(w.Count)
+	case Sum, Avg:
+		w.Value += v
+	case Min:
+		if w.Count == 1 || v < w.Value {
+			w.Value = v
+		}
+	case Max:
+		if w.Count == 1 || v > w.Value {
+			w.Value = v
+		}
+	case First:
+		if w.Count == 1 {
+			w.Value = v
+		}
+	case Last:
+		w.Value = v
+	}
+}
+
+func finalize(w *WindowResult, agg Aggregator) {
+	if agg == Avg && w.Count > 0 {
+		w.Value /= float64(w.Count)
+	}
+}
+
+// WindowQuery runs a time-range query on the engine and aggregates the
+// result — SELECT agg(value) FROM sensor WHERE startT <= time < endT
+// GROUP BY window.
+func WindowQuery(e *engine.Engine, sensor string, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
+	points, err := e.Query(sensor, startT, endT-1)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateWindows(points, startT, endT, window, agg)
+}

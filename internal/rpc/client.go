@@ -1,0 +1,213 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Client is a connection to a Server. One request runs at a time per
+// client; it satisfies bench.Target so benchmark workloads can run
+// client-server. Open several clients for concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// call performs one request/response exchange.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp)
+	}
+	return resp, nil
+}
+
+// InsertBatch implements bench.Target.
+func (c *Client) InsertBatch(sensor string, times []int64, values []float64) error {
+	if len(times) != len(values) {
+		return fmt.Errorf("rpc: batch shape mismatch")
+	}
+	payload := appendString(nil, sensor)
+	payload = binary.AppendUvarint(payload, uint64(len(times)))
+	for i := range times {
+		payload = binary.AppendVarint(payload, times[i])
+		payload = appendFloat64(payload, values[i])
+	}
+	_, err := c.call(OpInsert, payload)
+	return err
+}
+
+// Query returns the records in [minT, maxT] for sensor.
+func (c *Client) Query(sensor string, minT, maxT int64) ([]engine.TV, error) {
+	payload := appendString(nil, sensor)
+	payload = binary.AppendVarint(payload, minT)
+	payload = binary.AppendVarint(payload, maxT)
+	resp, err := c.call(OpQuery, payload)
+	if err != nil {
+		return nil, err
+	}
+	p := &payloadReader{b: resp}
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(resp))/9+1 {
+		return nil, fmt.Errorf("rpc: result count %d exceeds frame", n)
+	}
+	out := make([]engine.TV, n)
+	for i := range out {
+		if out[i].T, err = p.varint(); err != nil {
+			return nil, err
+		}
+		if out[i].V, err = p.float64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// QueryCount implements bench.Target.
+func (c *Client) QueryCount(sensor string, minT, maxT int64) (int, error) {
+	out, err := c.Query(sensor, minT, maxT)
+	return len(out), err
+}
+
+// Latest implements bench.Target.
+func (c *Client) Latest(sensor string) (int64, bool, error) {
+	resp, err := c.call(OpLatest, appendString(nil, sensor))
+	if err != nil {
+		return 0, false, err
+	}
+	p := &payloadReader{b: resp}
+	okByte, err := p.ReadByte()
+	if err != nil {
+		return 0, false, err
+	}
+	t, err := p.varint()
+	if err != nil {
+		return 0, false, err
+	}
+	return t, okByte == 1, nil
+}
+
+// Stats implements bench.Target.
+func (c *Client) Stats() (engine.Stats, error) {
+	var st engine.Stats
+	resp, err := c.call(OpStats, nil)
+	if err != nil {
+		return st, err
+	}
+	p := &payloadReader{b: resp}
+	fc, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.FlushCount = int(fc)
+	if st.AvgFlushMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.AvgSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.SeqPoints, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.UnseqPoints, err = p.varint(); err != nil {
+		return st, err
+	}
+	files, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.Files = int(files)
+	mp, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.MemTablePoints = int(mp)
+	return st, nil
+}
+
+// Flush forces a server-side flush.
+func (c *Client) Flush() error {
+	_, err := c.call(OpFlush, nil)
+	return err
+}
+
+// Settle implements bench.Target: waits for the server's in-flight
+// background flushes.
+func (c *Client) Settle() error {
+	_, err := c.call(OpWait, nil)
+	return err
+}
+
+// Aggregate runs a windowed aggregation server-side:
+// SELECT agg(value) GROUP BY window over [startT, endT).
+func (c *Client) Aggregate(sensor string, startT, endT, window int64, agg query.Aggregator) ([]query.WindowResult, error) {
+	payload := appendString(nil, sensor)
+	for _, v := range []int64{startT, endT, window, int64(agg)} {
+		payload = binary.AppendVarint(payload, v)
+	}
+	resp, err := c.call(OpAgg, payload)
+	if err != nil {
+		return nil, err
+	}
+	p := &payloadReader{b: resp}
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(resp))/10+1 {
+		return nil, fmt.Errorf("rpc: window count %d exceeds frame", n)
+	}
+	out := make([]query.WindowResult, n)
+	for i := range out {
+		if out[i].Start, err = p.varint(); err != nil {
+			return nil, err
+		}
+		cnt, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		out[i].Count = int(cnt)
+		if out[i].Value, err = p.float64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

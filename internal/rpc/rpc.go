@@ -1,0 +1,124 @@
+// Package rpc provides the client/server wire layer that lets the
+// benchmark drive the storage engine over TCP, the way IoTDB-benchmark
+// drives an IoTDB server (Section VI-A2). The protocol is a minimal
+// length-prefixed binary framing:
+//
+//	request:  uint32 length | byte opcode | payload
+//	response: uint32 length | byte status (0 ok, 1 error) | payload
+//
+// Payloads use uvarint-prefixed strings, varint timestamps and
+// little-endian float64 values. One connection carries one
+// request/response exchange at a time; clients open several
+// connections for concurrency.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Opcodes.
+const (
+	OpInsert byte = 1 // sensor, n, n*(varint delta-less time, float64)
+	OpQuery  byte = 2 // sensor, minT, maxT -> n, n*(time, value)
+	OpLatest byte = 3 // sensor -> bool, time
+	OpStats  byte = 4 // -> stats struct
+	OpFlush  byte = 5 // force flush
+	OpWait   byte = 6 // wait for in-flight background flushes
+	OpAgg    byte = 7 // sensor, startT, endT, window, agg -> windows
+)
+
+// MaxFrame bounds a frame to keep a malformed peer from forcing a
+// giant allocation. 16 MiB fits > one million points per batch.
+const MaxFrame = 16 << 20
+
+// ErrRemote wraps an error string returned by the server.
+var ErrRemote = errors.New("rpc: remote error")
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("rpc: frame too large: %d", len(payload))
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its kind byte and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("rpc: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Payload encoding helpers.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat64(b []byte, f float64) []byte {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], math.Float64bits(f))
+	return append(b, v[:]...)
+}
+
+// payloadReader decodes the helpers above.
+type payloadReader struct {
+	b   []byte
+	pos int
+}
+
+func (p *payloadReader) ReadByte() (byte, error) {
+	if p.pos >= len(p.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	c := p.b[p.pos]
+	p.pos++
+	return c, nil
+}
+
+func (p *payloadReader) varint() (int64, error)   { return binary.ReadVarint(p) }
+func (p *payloadReader) uvarint() (uint64, error) { return binary.ReadUvarint(p) }
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if p.pos+int(n) > len(p.b) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(p.b[p.pos : p.pos+int(n)])
+	p.pos += int(n)
+	return s, nil
+}
+
+func (p *payloadReader) float64() (float64, error) {
+	if p.pos+8 > len(p.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b[p.pos:]))
+	p.pos += 8
+	return v, nil
+}

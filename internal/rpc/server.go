@@ -1,0 +1,231 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Server exposes an engine over TCP.
+type Server struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps an engine.
+func NewServer(eng *engine.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			return // client went away or sent garbage
+		}
+		resp, err := s.dispatch(op, payload)
+		status := byte(0)
+		if err != nil {
+			status = 1
+			resp = []byte(err.Error())
+		}
+		if err := writeFrame(bw, status, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
+	p := &payloadReader{b: payload}
+	switch op {
+	case OpInsert:
+		sensor, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Every record costs at least 9 payload bytes (1-byte varint
+		// time + 8-byte value); reject counts the frame cannot hold
+		// before allocating.
+		if n > uint64(len(payload))/9+1 {
+			return nil, fmt.Errorf("rpc: insert count %d exceeds frame", n)
+		}
+		times := make([]int64, n)
+		values := make([]float64, n)
+		for i := range times {
+			if times[i], err = p.varint(); err != nil {
+				return nil, err
+			}
+			if values[i], err = p.float64(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, s.eng.InsertBatch(sensor, times, values)
+
+	case OpQuery:
+		sensor, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		minT, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		maxT, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.eng.Query(sensor, minT, maxT)
+		if err != nil {
+			return nil, err
+		}
+		resp := binary.AppendUvarint(nil, uint64(len(out)))
+		for _, tv := range out {
+			resp = binary.AppendVarint(resp, tv.T)
+			resp = appendFloat64(resp, tv.V)
+		}
+		return resp, nil
+
+	case OpLatest:
+		sensor, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := s.eng.LatestTime(sensor)
+		resp := []byte{0}
+		if ok {
+			resp[0] = 1
+		}
+		return binary.AppendVarint(resp, t), nil
+
+	case OpStats:
+		st := s.eng.Stats()
+		resp := binary.AppendVarint(nil, int64(st.FlushCount))
+		resp = appendFloat64(resp, st.AvgFlushMillis)
+		resp = appendFloat64(resp, st.AvgSortMillis)
+		resp = binary.AppendVarint(resp, st.SeqPoints)
+		resp = binary.AppendVarint(resp, st.UnseqPoints)
+		resp = binary.AppendVarint(resp, int64(st.Files))
+		resp = binary.AppendVarint(resp, int64(st.MemTablePoints))
+		return resp, nil
+
+	case OpFlush:
+		s.eng.Flush()
+		return nil, nil
+
+	case OpWait:
+		s.eng.WaitFlushes()
+		return nil, nil
+
+	case OpAgg:
+		sensor, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		var startT, endT, window, aggCode int64
+		for _, dst := range []*int64{&startT, &endT, &window, &aggCode} {
+			if *dst, err = p.varint(); err != nil {
+				return nil, err
+			}
+		}
+		wins, err := query.WindowQuery(s.eng, sensor, startT, endT, window, query.Aggregator(aggCode))
+		if err != nil {
+			return nil, err
+		}
+		resp := binary.AppendUvarint(nil, uint64(len(wins)))
+		for _, w := range wins {
+			resp = binary.AppendVarint(resp, w.Start)
+			resp = binary.AppendVarint(resp, int64(w.Count))
+			resp = appendFloat64(resp, w.Value)
+		}
+		return resp, nil
+
+	default:
+		return nil, fmt.Errorf("rpc: unknown opcode %d", op)
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// handlers. The engine is left open (the owner closes it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}

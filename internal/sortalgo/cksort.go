@@ -1,0 +1,81 @@
+package sortalgo
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CKSort sorts s with the Cook–Kim hybrid (CACM 1980), a baseline the
+// paper evaluates: records violating the sorted order are extracted
+// into an auxiliary area (leaving the remainder sorted in place), the
+// small auxiliary set is sorted, and the two sorted sequences are
+// merged. It needs O(d) extra record space where d is the number of
+// extracted records — up to O(n) on very disordered input, the space
+// cost the paper notes.
+func CKSort(s core.Sortable) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+
+	// Extraction: scan left to right compacting kept records. On a
+	// violation a[i] < kept-tail, extract both the offender and the
+	// kept tail (Cook & Kim remove the *pair*), so the kept region
+	// stays sorted.
+	s.EnsureScratch(n)
+	var auxSlots []int
+	var auxTimes []int64
+	nextSlot := 0
+	dst := 0 // kept region is [0, dst)
+	for i := 0; i < n; i++ {
+		t := s.Time(i)
+		if dst > 0 && t < s.Time(dst-1) {
+			// Extract the kept tail...
+			s.Save(dst-1, nextSlot)
+			auxSlots = append(auxSlots, nextSlot)
+			auxTimes = append(auxTimes, s.Time(dst-1))
+			nextSlot++
+			dst--
+			// ...and the offender.
+			s.Save(i, nextSlot)
+			auxSlots = append(auxSlots, nextSlot)
+			auxTimes = append(auxTimes, t)
+			nextSlot++
+			continue
+		}
+		if dst != i {
+			s.Move(i, dst)
+		}
+		dst++
+	}
+	if len(auxSlots) == 0 {
+		return
+	}
+
+	// Sort the auxiliary records by time (indices only; the records
+	// themselves stay parked in scratch).
+	order := make([]int, len(auxSlots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return auxTimes[order[a]] < auxTimes[order[b]] })
+
+	// Backward merge of the kept region [0, dst) with the sorted
+	// auxiliary records into [0, n): filling from the back keeps every
+	// pending main record to the left of where it lands.
+	mi := dst - 1
+	ai := len(order) - 1
+	for pos := n - 1; pos >= 0; pos-- {
+		if ai < 0 {
+			break // remaining kept records are already in place
+		}
+		if mi >= 0 && s.Time(mi) > auxTimes[order[ai]] {
+			s.Move(mi, pos)
+			mi--
+		} else {
+			s.Restore(auxSlots[order[ai]], pos)
+			ai--
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sortalgo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExhaustiveSmallInputs drives every algorithm over every array of
+// length <= 7 with values in {0,1,2} (3^7 = 2187 arrays per length).
+// Small-input exhaustion catches the boundary bugs random testing
+// misses — it is what exposed an order-bookkeeping bug in the
+// Smoothsort port during development.
+func TestExhaustiveSmallInputs(t *testing.T) {
+	algos := map[string]Func{}
+	for _, name := range AllNames() {
+		algos[name] = MustGet(name)
+	}
+	for n := 0; n <= 7; n++ {
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= 3
+		}
+		for code := 0; code < total; code++ {
+			times := make([]int64, n)
+			c := code
+			for i := 0; i < n; i++ {
+				times[i] = int64(c % 3)
+				c /= 3
+			}
+			want := append([]int64(nil), times...)
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			for name, algo := range algos {
+				p := makePairs(times)
+				algo(p)
+				for i := range want {
+					if p.Times[i] != want[i] {
+						t.Fatalf("%s: n=%d input code %d: got %v, want %v", name, n, code, p.Times, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustivePermutations drives every algorithm over all
+// permutations of [0..6] — every possible disorder pattern of 7
+// distinct keys.
+func TestExhaustivePermutations(t *testing.T) {
+	var perms [][]int64
+	var gen func(cur []int64, rest []int64)
+	gen = func(cur []int64, rest []int64) {
+		if len(rest) == 0 {
+			perms = append(perms, append([]int64(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(cur, rest[i])
+			var rem []int64
+			rem = append(rem, rest[:i]...)
+			rem = append(rem, rest[i+1:]...)
+			gen(next, rem)
+		}
+	}
+	gen(nil, []int64{0, 1, 2, 3, 4, 5, 6})
+	if len(perms) != 5040 {
+		t.Fatalf("generated %d permutations", len(perms))
+	}
+	for _, name := range AllNames() {
+		algo := MustGet(name)
+		for pi, perm := range perms {
+			p := makePairs(perm)
+			algo(p)
+			for i := 0; i < 7; i++ {
+				if p.Times[i] != int64(i) {
+					t.Fatalf("%s: permutation %d (%v) sorted to %v", name, pi, perm, p.Times)
+				}
+			}
+		}
+	}
+}
+
+// TestImpatienceMoveEconomy verifies Impatience Sort's selling point:
+// every record moves exactly twice (one save, one restore), no matter
+// how many merge rounds the index arrays go through.
+func TestImpatienceMoveEconomy(t *testing.T) {
+	times := []int64{5, 1, 9, 2, 8, 3, 7, 4, 6, 0, 15, 11, 19, 12, 18}
+	c := core.NewCounter(makePairs(times))
+	ImpatienceSort(c)
+	n := int64(len(times))
+	if c.Saves != n || c.Restores != n || c.Swaps != 0 || c.Moves != 0 {
+		t.Fatalf("impatience moved records more than twice each: %+v", c)
+	}
+	if !core.IsSorted(c) {
+		t.Fatal("not sorted")
+	}
+}
+
+// TestAdaptiveAlgorithmsDoNoWorkWhenSorted: the nearly-sorted
+// specialists must perform zero (or near-zero) record movement on
+// already-sorted input — the essence of adaptivity the paper builds
+// on.
+func TestAdaptiveAlgorithmsDoNoWorkWhenSorted(t *testing.T) {
+	n := 5000
+	times := make([]int64, n)
+	for i := range times {
+		times[i] = int64(i)
+	}
+	for _, name := range []string{"backward", "insertion", "ck", "y"} {
+		c := core.NewCounter(makePairs(times))
+		MustGet(name)(c)
+		if moved := c.Swaps + c.Moves + c.Saves + c.Restores; moved != 0 {
+			t.Errorf("%s moved %d records on sorted input", name, moved)
+		}
+	}
+	// Timsort detects one run; it may still binary-insert within
+	// minrun extension, so allow a small constant, not zero.
+	c := core.NewCounter(makePairs(times))
+	Timsort(c)
+	if moved := c.Swaps + c.Moves + c.Saves + c.Restores; moved > int64(n)/100 {
+		t.Errorf("tim moved %d records on sorted input", moved)
+	}
+}
+
+// TestBackwardNeverMovesMoreThanStraight is the Figure 2 claim as a
+// randomized property over delay-only inputs and block sizes.
+func TestBackwardNeverMovesMoreThanStraight(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 500 + r.Intn(4000)
+		mean := []float64{0.5, 2, 10, 50}[r.Intn(4)]
+		block := []int{16, 64, 256}[r.Intn(3)]
+		type p struct {
+			gen     int64
+			arrival float64
+		}
+		ps := make([]p, n)
+		for i := range ps {
+			ps[i] = p{int64(i), float64(i) + r.ExpFloat64()*mean}
+		}
+		sort.SliceStable(ps, func(a, b int) bool { return ps[a].arrival < ps[b].arrival })
+		times := make([]int64, n)
+		for i := range ps {
+			times[i] = ps[i].gen
+		}
+
+		straight := core.NewCounter(makePairs(times))
+		StraightMergeFrom(straight, block)
+		backward := core.NewCounter(makePairs(times))
+		core.BackwardSort(backward, core.Options{FixedBlockSize: block})
+		if backward.TotalMoves() > straight.TotalMoves() {
+			t.Fatalf("trial %d (n=%d mean=%g block=%d): backward %d moves > straight %d",
+				trial, n, mean, block, backward.TotalMoves(), straight.TotalMoves())
+		}
+	}
+}
+
+// TestSmoothsortAdaptive checks the smooth degradation: sorted input
+// must cost far fewer swaps than reverse input.
+func TestSmoothsortAdaptive(t *testing.T) {
+	n := 20000
+	sorted := make([]int64, n)
+	reverse := make([]int64, n)
+	for i := range sorted {
+		sorted[i] = int64(i)
+		reverse[i] = int64(n - i)
+	}
+	cs := core.NewCounter(makePairs(sorted))
+	Smoothsort(cs)
+	cr := core.NewCounter(makePairs(reverse))
+	Smoothsort(cr)
+	if !core.IsSorted(cs.S.(*core.Pairs[int])) || !core.IsSorted(cr.S.(*core.Pairs[int])) {
+		t.Fatal("not sorted")
+	}
+	if cs.Swaps*4 > cr.Swaps {
+		t.Fatalf("smoothsort not adaptive: %d swaps sorted vs %d reversed", cs.Swaps, cr.Swaps)
+	}
+}

@@ -1,0 +1,142 @@
+package sortalgo
+
+import "repro/internal/core"
+
+// MergeSort sorts s with a bottom-up ("straight") merge sort: blocks
+// of a fixed starting width are sorted individually, then adjacent
+// sorted runs are merged left to right in passes of doubling width.
+// It is the Straight Merge strategy of the paper's Figure 2 — the
+// strawman Backward Merge is compared against: every pass re-moves
+// records that earlier passes already placed, which is exactly the
+// redundant movement backward merging avoids.
+func MergeSort(s core.Sortable) { MergeSortFrom(s, mergeBaseWidth) }
+
+const mergeBaseWidth = 16
+
+// MergeSortFrom runs the straight merge with the given starting block
+// width (the Figure 2 experiment uses the same width for both merge
+// strategies so the move counts are comparable).
+func MergeSortFrom(s core.Sortable, width int) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	if width < 1 {
+		width = 1
+	}
+	for lo := 0; lo < n; lo += width {
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		core.QuicksortRange(s, lo, hi)
+	}
+	for ; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			mergeRuns(s, lo, mid, hi)
+		}
+	}
+}
+
+// StraightMergeFrom is the *naive* straight merge of the paper's
+// Figure 2: blocks are sorted, then adjacent runs are merged left to
+// right with the whole left run buffered every time — no overlap
+// trimming. Records placed by earlier passes are re-moved by later,
+// wider passes ("the first block is moved again, causing redundant
+// moves"), which is precisely the cost Backward Merge eliminates. It
+// exists for the move-count comparison; MergeSort above is the
+// stronger trimmed variant used as a regular baseline.
+func StraightMergeFrom(s core.Sortable, width int) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	if width < 1 {
+		width = 1
+	}
+	for lo := 0; lo < n; lo += width {
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		core.QuicksortRange(s, lo, hi)
+	}
+	for ; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			mergeRunsNaive(s, lo, mid, hi)
+		}
+	}
+}
+
+// mergeRunsNaive merges adjacent sorted runs [lo, mid) and [mid, hi)
+// by buffering the entire left run, with no trimming.
+func mergeRunsNaive(s core.Sortable, lo, mid, hi int) {
+	r := mid - lo
+	if r == 0 || hi == mid {
+		return
+	}
+	s.EnsureScratch(r)
+	times := make([]int64, r)
+	for i := 0; i < r; i++ {
+		times[i] = s.Time(lo + i)
+		s.Save(lo+i, i)
+	}
+	i, j, dst := 0, mid, lo
+	for i < r && j < hi {
+		if times[i] <= s.Time(j) {
+			s.Restore(i, dst)
+			i++
+		} else {
+			s.Move(j, dst)
+			j++
+		}
+		dst++
+	}
+	for i < r {
+		s.Restore(i, dst)
+		i++
+		dst++
+	}
+}
+
+// Heapsort sorts s with a classic binary max-heap, the in-place
+// O(n log n) floor baseline (the family Smoothsort belongs to,
+// Section VII-B). It is oblivious to existing order, so it bounds how
+// much the adaptive algorithms gain from near-sortedness.
+func Heapsort(s core.Sortable) {
+	n := s.Len()
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(s, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		s.Swap(0, end)
+		siftDown(s, 0, end)
+	}
+}
+
+func siftDown(s core.Sortable, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && s.Time(child+1) > s.Time(child) {
+			child++
+		}
+		if s.Time(root) >= s.Time(child) {
+			return
+		}
+		s.Swap(root, child)
+		root = child
+	}
+}

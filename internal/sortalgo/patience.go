@@ -1,0 +1,133 @@
+package sortalgo
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PatienceSort sorts s with Patience Sort (Chandramouli & Goldstein,
+// SIGMOD 2014), the state-of-the-art nearly-sorted baseline of the
+// paper: records are dealt into sorted piles (natural runs), then the
+// piles are merged. Every record is parked in scratch during dealing,
+// so the algorithm needs O(n) extra record space — the memory cost the
+// paper holds against it in the flush-time experiments.
+func PatienceSort(s core.Sortable) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	s.EnsureScratch(n)
+
+	// Deal phase. Piles grow by appending, so each pile is sorted.
+	// A record goes to the pile with the largest tail <= it (found by
+	// binary search over tails, which stay in increasing order under
+	// this placement rule), checking the most recently used pile
+	// first — the locality shortcut that makes dealing near-linear on
+	// nearly sorted data.
+	times := make([]int64, n)
+	var piles [][]int // scratch slot indices
+	var tails []int64 // tails[p] = time of last record in pile p
+	last := -1        // most recently used pile
+	for i := 0; i < n; i++ {
+		t := s.Time(i)
+		times[i] = t
+		s.Save(i, i)
+		if last >= 0 && tails[last] <= t {
+			piles[last] = append(piles[last], i)
+			tails[last] = t
+			continue
+		}
+		// Largest tail <= t: binary search the first tail > t.
+		p := sort.Search(len(tails), func(k int) bool { return tails[k] > t }) - 1
+		if p < 0 {
+			// New pile. Insert keeping tails ordered: a brand-new
+			// pile's tail t is smaller than every existing tail, so
+			// it goes to the front.
+			piles = append([][]int{{i}}, piles...)
+			tails = append([]int64{t}, tails...)
+			last = 0
+			continue
+		}
+		piles[p] = append(piles[p], i)
+		tails[p] = t
+		last = p
+	}
+
+	// Merge phase: k-way merge of the sorted piles via a binary heap
+	// of pile heads, restoring records into final positions.
+	h := newPileHeap(piles, times)
+	for dst := 0; dst < n; dst++ {
+		slot := h.pop()
+		s.Restore(slot, dst)
+	}
+}
+
+// pileHeap is a minimal binary min-heap over pile heads, keyed by
+// record time with the pile index as tiebreak for determinism.
+type pileHeap struct {
+	piles [][]int
+	pos   []int // next unread element per pile
+	times []int64
+	heap  []int // pile indices
+}
+
+func newPileHeap(piles [][]int, times []int64) *pileHeap {
+	h := &pileHeap{piles: piles, pos: make([]int, len(piles)), times: times}
+	for p := range piles {
+		if len(piles[p]) > 0 {
+			h.heap = append(h.heap, p)
+		}
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+func (h *pileHeap) key(p int) int64 { return h.times[h.piles[p][h.pos[p]]] }
+
+func (h *pileHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	ka, kb := h.key(a), h.key(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+func (h *pileHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+}
+
+// pop removes and returns the scratch slot of the globally smallest
+// pile head.
+func (h *pileHeap) pop() int {
+	p := h.heap[0]
+	slot := h.piles[p][h.pos[p]]
+	h.pos[p]++
+	if h.pos[p] == len(h.piles[p]) {
+		// Pile exhausted: replace root with the last heap entry.
+		h.heap[0] = h.heap[len(h.heap)-1]
+		h.heap = h.heap[:len(h.heap)-1]
+	}
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return slot
+}

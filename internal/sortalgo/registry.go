@@ -1,0 +1,66 @@
+// Package sortalgo implements the sorting algorithms the paper
+// compares Backward-Sort against (Section VI-A1): Quicksort with a
+// middle pivot, Timsort, Patience Sort, CKSort and YSort, plus
+// straight Insertion-Sort, bottom-up (straight) Merge Sort and
+// Heapsort as supporting baselines. Every algorithm runs against
+// core.Sortable, the same record interface Backward-Sort uses, so move
+// and comparison counts are directly comparable.
+package sortalgo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Func sorts a record sequence by timestamp.
+type Func func(core.Sortable)
+
+// registry maps algorithm names (as the paper's figure legends spell
+// them) to implementations.
+var registry = map[string]Func{
+	"backward":   func(s core.Sortable) { core.BackwardSort(s, core.Options{}) },
+	"quick":      core.Quicksort,
+	"tim":        Timsort,
+	"patience":   PatienceSort,
+	"ck":         CKSort,
+	"y":          YSort,
+	"insertion":  core.InsertionSort,
+	"merge":      MergeSort,
+	"heap":       Heapsort,
+	"smooth":     Smoothsort,
+	"impatience": ImpatienceSort,
+}
+
+// Get returns the named algorithm.
+func Get(name string) (Func, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// MustGet returns the named algorithm or panics; experiment drivers
+// use it with compile-time-known names.
+func MustGet(name string) Func {
+	f, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("sortalgo: unknown algorithm %q", name))
+	}
+	return f
+}
+
+// PaperNames returns the six algorithms of the paper's comparison
+// figures, in legend order.
+func PaperNames() []string {
+	return []string{"backward", "tim", "patience", "quick", "ck", "y"}
+}
+
+// AllNames returns every registered algorithm, sorted.
+func AllNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

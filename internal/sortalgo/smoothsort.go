@@ -1,0 +1,213 @@
+package sortalgo
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// Smoothsort sorts s with Dijkstra's Smoothsort (Sci. Comput.
+// Program. 1982), discussed in the paper's related work: a heapsort
+// over a forest of Leonardo-number-sized heaps whose cost degrades
+// smoothly from O(n) on sorted input to O(n log n) on arbitrary input.
+// Like the paper notes, it is unstable. The implementation follows the
+// standard bitmask formulation ("Smoothsort demystified").
+func Smoothsort(s core.Sortable) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	lp := leonardo(n)
+	// Invariant at the top of the grow loop: element head is the root
+	// of the forest's smallest tree (order pshift, bitmask p) but has
+	// not been heapified yet; the body fixes it, then prepares p and
+	// pshift for element head+1 (merging the two smallest trees when
+	// their orders are adjacent).
+	var p uint64 = 1
+	pshift := 1
+	for head := 0; head < n-1; head++ {
+		if p&3 == 3 {
+			// Orders pshift and pshift+1 both present: the next
+			// element merges them into one tree of order pshift+2.
+			smoothSift(s, lp, pshift, head)
+			p >>= 2
+			pshift += 2
+		} else {
+			if lp[pshift-1] >= n-1-head {
+				// The tree at head is final-sized: order all roots.
+				smoothTrinkle(s, lp, p, pshift, head, false)
+			} else {
+				smoothSift(s, lp, pshift, head)
+			}
+			// The next element starts a new tree of order 1 (or 0
+			// when an order-1 tree already exists).
+			if pshift == 1 {
+				p <<= 1
+				pshift = 0
+			} else {
+				p <<= uint(pshift - 1)
+				pshift = 1
+			}
+		}
+		p |= 1
+	}
+	smoothTrinkle(s, lp, p, pshift, n-1, false)
+
+	// Shrink phase: pop the maximum (the last root) and re-expose the
+	// dismantled tree's children as roots.
+	for head := n - 1; pshift != 1 || p != 1; head-- {
+		if pshift <= 1 {
+			trail := bits.TrailingZeros64(p &^ 1)
+			p >>= uint(trail)
+			pshift += trail
+		} else {
+			p <<= 2
+			p ^= 7
+			pshift -= 2
+			smoothTrinkle(s, lp, p>>1, pshift+1, head-lp[pshift]-1, true)
+			smoothTrinkle(s, lp, p, pshift, head-1, true)
+		}
+	}
+}
+
+// leonardo returns the Leonardo numbers 1, 1, 3, 5, 9, … up to > n.
+func leonardo(n int) []int {
+	lp := []int{1, 1}
+	for lp[len(lp)-1] < n {
+		lp = append(lp, lp[len(lp)-1]+lp[len(lp)-2]+1)
+	}
+	return lp
+}
+
+// smoothSift restores the heap property within one Leonardo tree
+// rooted at head with order pshift.
+func smoothSift(s core.Sortable, lp []int, pshift, head int) {
+	for pshift > 1 {
+		rt := head - 1
+		lf := head - 1 - lp[pshift-2]
+		hv := s.Time(head)
+		if hv >= s.Time(lf) && hv >= s.Time(rt) {
+			break
+		}
+		if s.Time(lf) >= s.Time(rt) {
+			s.Swap(head, lf)
+			head = lf
+			pshift--
+		} else {
+			s.Swap(head, rt)
+			head = rt
+			pshift -= 2
+		}
+	}
+}
+
+// smoothTrinkle bubbles the root at head leftwards through the
+// forest's root sequence, then sifts it into its tree.
+func smoothTrinkle(s core.Sortable, lp []int, p uint64, pshift, head int, trusty bool) {
+	for p != 1 {
+		stepson := head - lp[pshift]
+		if s.Time(stepson) <= s.Time(head) {
+			break
+		}
+		if !trusty && pshift > 1 {
+			rt := head - 1
+			lf := head - 1 - lp[pshift-2]
+			if s.Time(rt) >= s.Time(stepson) || s.Time(lf) >= s.Time(stepson) {
+				break
+			}
+		}
+		s.Swap(head, stepson)
+		head = stepson
+		trail := bits.TrailingZeros64(p &^ 1)
+		p >>= uint(trail)
+		pshift += trail
+		trusty = false
+	}
+	if !trusty {
+		smoothSift(s, lp, pshift, head)
+	}
+}
+
+// ImpatienceSort sorts s following Impatience Sort (Chandramouli,
+// Goldstein & Li, ICDE 2018), the paper's other nearly-sorted
+// baseline: records are dealt into sorted runs exactly as Patience
+// Sort does, but the runs are combined by balanced pairwise
+// ("ping-pong") merges over index arrays, so every record physically
+// moves only twice — once into scratch, once to its final position —
+// regardless of how many merge rounds the indices go through.
+func ImpatienceSort(s core.Sortable) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	s.EnsureScratch(n)
+
+	// Deal phase (same placement rule as PatienceSort).
+	times := make([]int64, n)
+	var piles [][]int32
+	var tails []int64
+	last := -1
+	for i := 0; i < n; i++ {
+		t := s.Time(i)
+		times[i] = t
+		s.Save(i, i)
+		if last >= 0 && tails[last] <= t {
+			piles[last] = append(piles[last], int32(i))
+			tails[last] = t
+			continue
+		}
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tails[mid] > t {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		p := lo - 1
+		if p < 0 {
+			piles = append([][]int32{{int32(i)}}, piles...)
+			tails = append([]int64{t}, tails...)
+			last = 0
+			continue
+		}
+		piles[p] = append(piles[p], int32(i))
+		tails[p] = t
+		last = p
+	}
+
+	// Ping-pong merge rounds over index arrays.
+	for len(piles) > 1 {
+		next := make([][]int32, 0, (len(piles)+1)/2)
+		for i := 0; i+1 < len(piles); i += 2 {
+			next = append(next, mergeIndexRuns(piles[i], piles[i+1], times))
+		}
+		if len(piles)%2 == 1 {
+			next = append(next, piles[len(piles)-1])
+		}
+		piles = next
+	}
+
+	// Single placement pass.
+	for dst, slot := range piles[0] {
+		s.Restore(int(slot), dst)
+	}
+}
+
+// mergeIndexRuns merges two slot-index runs ordered by times.
+func mergeIndexRuns(a, b []int32, times []int64) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if times[a[i]] <= times[b[j]] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

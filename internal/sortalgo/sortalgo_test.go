@@ -1,0 +1,325 @@
+package sortalgo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func makePairs(times []int64) *core.Pairs[int] {
+	ts := make([]int64, len(times))
+	copy(ts, times)
+	vals := make([]int, len(times))
+	for i := range vals {
+		vals[i] = i
+	}
+	return core.NewPairs(ts, vals)
+}
+
+func checkSortedPermutation(t *testing.T, name string, p *core.Pairs[int], orig []int64) {
+	t.Helper()
+	if !core.IsSorted(p) {
+		t.Fatalf("%s: output not sorted", name)
+	}
+	seen := make([]bool, len(orig))
+	for i := range p.Times {
+		idx := p.Values[i]
+		if idx < 0 || idx >= len(orig) || seen[idx] {
+			t.Fatalf("%s: record set corrupted at %d", name, i)
+		}
+		seen[idx] = true
+		if p.Times[i] != orig[idx] {
+			t.Fatalf("%s: record %d tore apart", name, idx)
+		}
+	}
+}
+
+// adversarialInputs are deterministic shapes that historically break
+// sorting implementations.
+func adversarialInputs() map[string][]int64 {
+	n := 3000
+	r := rand.New(rand.NewSource(12345))
+	inputs := map[string][]int64{
+		"empty":    {},
+		"single":   {7},
+		"two":      {2, 1},
+		"ties":     {5, 5, 5, 5, 5},
+		"sawtooth": make([]int64, n),
+		"sorted":   make([]int64, n),
+		"reverse":  make([]int64, n),
+		"organ":    make([]int64, n),
+		"random":   make([]int64, n),
+		"fewvals":  make([]int64, n),
+		"delayed":  dataset.LogNormal(n, 1, 2, 5).Times,
+		"citibike": dataset.CitiBike201808(n, 5).Times,
+		"samsung":  dataset.SamsungS10(n, 5).Times,
+	}
+	for i := 0; i < n; i++ {
+		inputs["sawtooth"][i] = int64(i % 17)
+		inputs["sorted"][i] = int64(i)
+		inputs["reverse"][i] = int64(n - i)
+		if i < n/2 {
+			inputs["organ"][i] = int64(i)
+		} else {
+			inputs["organ"][i] = int64(n - i)
+		}
+		inputs["random"][i] = r.Int63n(1 << 40)
+		inputs["fewvals"][i] = r.Int63n(3)
+	}
+	return inputs
+}
+
+func TestAllAlgorithmsOnAdversarialInputs(t *testing.T) {
+	for _, name := range AllNames() {
+		algo := MustGet(name)
+		for shape, times := range adversarialInputs() {
+			orig := make([]int64, len(times))
+			copy(orig, times)
+			p := makePairs(times)
+			algo(p)
+			checkSortedPermutation(t, name+"/"+shape, p, orig)
+		}
+	}
+}
+
+func TestAllAlgorithmsQuickProperty(t *testing.T) {
+	for _, name := range AllNames() {
+		algo := MustGet(name)
+		f := func(times []int64) bool {
+			if name == "insertion" && len(times) > 400 {
+				times = times[:400]
+			}
+			orig := make([]int64, len(times))
+			copy(orig, times)
+			p := makePairs(times)
+			algo(p)
+			if !core.IsSorted(p) {
+				return false
+			}
+			sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+			for i, v := range p.Times {
+				if v != orig[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, ok := Get("backward"); !ok {
+		t.Fatal("backward missing from registry")
+	}
+	if _, ok := Get("bogus"); ok {
+		t.Fatal("registry invented an algorithm")
+	}
+	for _, n := range PaperNames() {
+		if _, ok := Get(n); !ok {
+			t.Fatalf("paper algorithm %q not registered", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic on unknown name")
+		}
+	}()
+	MustGet("bogus")
+}
+
+func TestTimsortNaturalRuns(t *testing.T) {
+	// Two pre-sorted halves merge with zero block re-sorting: verify
+	// correct output and that descending runs reverse properly.
+	times := []int64{1, 3, 5, 7, 9, 8, 6, 4, 2, 0}
+	orig := make([]int64, len(times))
+	copy(orig, times)
+	p := makePairs(times)
+	Timsort(p)
+	checkSortedPermutation(t, "tim/runs", p, orig)
+}
+
+func TestGallopHelpers(t *testing.T) {
+	keys := []int64{1, 3, 3, 5, 7, 9}
+	at := func(i int) int64 { return keys[i] }
+	cases := []struct {
+		key         int64
+		right, left int
+	}{
+		{0, 0, 0}, {1, 1, 0}, {3, 3, 1}, {4, 3, 3}, {9, 6, 5}, {10, 6, 6},
+	}
+	for _, c := range cases {
+		if got := gallopRight(at, len(keys), c.key); got != c.right {
+			t.Errorf("gallopRight(%d) = %d, want %d", c.key, got, c.right)
+		}
+		if got := gallopLeft(at, len(keys), c.key); got != c.left {
+			t.Errorf("gallopLeft(%d) = %d, want %d", c.key, got, c.left)
+		}
+	}
+	if gallopRight(at, 0, 5) != 0 || gallopLeft(at, 0, 5) != 0 {
+		t.Fatal("empty gallop should be 0")
+	}
+}
+
+func TestTimsortGallopsOnBlockSwap(t *testing.T) {
+	// Two long sorted halves with interleaved blocks force merges with
+	// long single-side stretches — galloping's best case. Check both
+	// correctness and that comparisons stay well below one per record
+	// move (the galloping win).
+	n := 1 << 14
+	times := make([]int64, 0, n)
+	for b := 0; b < 8; b++ {
+		base := int64(((b % 2) * (n / 2)) + (b/2)*(n/8))
+		for i := 0; i < n/8; i++ {
+			times = append(times, base+int64(i))
+		}
+	}
+	orig := append([]int64(nil), times...)
+	c := core.NewCounter(makePairs(times))
+	Timsort(c)
+	checkSortedPermutation(t, "tim/gallop", c.S.(*core.Pairs[int]), orig)
+	if c.TimeReads > int64(8*n) {
+		t.Fatalf("galloping did not bound comparisons: %d key reads for n=%d", c.TimeReads, n)
+	}
+}
+
+func TestMinRunLength(t *testing.T) {
+	cases := map[int]int{1: 1, 31: 31, 32: 16, 33: 17, 64: 16, 65: 17, 100000: 25}
+	for n, want := range cases {
+		if got := minRunLength(n); got != want {
+			t.Errorf("minRunLength(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCKSortExtractionOnlyWhenNeeded(t *testing.T) {
+	// On sorted input CKSort extracts nothing and moves nothing.
+	times := make([]int64, 1000)
+	for i := range times {
+		times[i] = int64(i)
+	}
+	c := core.NewCounter(makePairs(times))
+	CKSort(c)
+	if c.Saves+c.Restores+c.Swaps != 0 {
+		t.Fatalf("CKSort moved records on sorted input: %+v", c)
+	}
+}
+
+func TestYSortSortedShortCircuit(t *testing.T) {
+	times := make([]int64, 5000)
+	for i := range times {
+		times[i] = int64(i)
+	}
+	c := core.NewCounter(makePairs(times))
+	YSort(c)
+	if c.Swaps+c.Moves+c.Saves != 0 {
+		t.Fatalf("YSort moved records on sorted input: %+v", c)
+	}
+}
+
+func TestPatiencePileCountMatchesDisorder(t *testing.T) {
+	// A single delayed record creates at most a couple of piles and
+	// patience must restore every record exactly once.
+	times := []int64{0, 1, 2, 10, 3, 4, 5, 6, 11, 12}
+	orig := make([]int64, len(times))
+	copy(orig, times)
+	p := makePairs(times)
+	c := core.NewCounter(p)
+	PatienceSort(c)
+	checkSortedPermutation(t, "patience/small", p, orig)
+	if c.Saves != int64(len(times)) || c.Restores != int64(len(times)) {
+		t.Fatalf("patience should save and restore each record once: %+v", c)
+	}
+}
+
+func TestMergeSortFromWidths(t *testing.T) {
+	orig := dataset.AbsNormal(5000, 1, 4, 9).Times
+	for _, w := range []int{1, 2, 3, 16, 100, 5000, 10000} {
+		p := makePairs(orig)
+		MergeSortFrom(p, w)
+		checkSortedPermutation(t, "merge/w", p, orig)
+	}
+	// Width < 1 is clamped.
+	p := makePairs(orig)
+	MergeSortFrom(p, 0)
+	checkSortedPermutation(t, "merge/w0", p, orig)
+}
+
+// TestFig2BackwardBeatsStraightMerge reproduces the *claim* of the
+// paper's Figure 2: on delay-only data split into blocks, the backward
+// merge performs fewer record moves than the straight (bottom-up)
+// merge, because the straight merge re-moves already-placed prefixes
+// (the paper's worked example: 4M+4 vs 3M+7 moves).
+func TestFig2BackwardBeatsStraightMerge(t *testing.T) {
+	// Figure 2's shape: a few records delayed to the front of the
+	// following block, e.g. M=16-record blocks with timestamps 1 and
+	// 3 arriving late.
+	const M = 64
+	var times []int64
+	next := int64(0)
+	for b := 0; b < 8; b++ {
+		delayedFromPrev := next - 2 // arrives at the head of this block
+		if b > 0 {
+			times = append(times, delayedFromPrev)
+		}
+		for i := 0; i < M; i++ {
+			if b > 0 && i == M-3 {
+				continue // hole for the record delayed into the next block
+			}
+			times = append(times, next)
+			next++
+		}
+	}
+	orig := make([]int64, len(times))
+	copy(orig, times)
+
+	straight := core.NewCounter(makePairs(times))
+	StraightMergeFrom(straight, M)
+
+	backward := core.NewCounter(makePairs(times))
+	core.BackwardSort(backward, core.Options{FixedBlockSize: M})
+
+	checkSortedPermutation(t, "fig2/straight", straight.S.(*core.Pairs[int]), orig)
+	checkSortedPermutation(t, "fig2/backward", backward.S.(*core.Pairs[int]), orig)
+
+	if backward.TotalMoves() >= straight.TotalMoves() {
+		t.Fatalf("backward merge (%d moves) did not beat straight merge (%d moves)",
+			backward.TotalMoves(), straight.TotalMoves())
+	}
+}
+
+// TestBackwardMoveAdvantageOnDelayedData checks the Figure 2 claim on
+// generated delay-only data rather than a constructed example.
+func TestBackwardMoveAdvantageOnDelayedData(t *testing.T) {
+	s := dataset.LogNormal(50000, 1, 1, 33)
+	straight := core.NewCounter(makePairs(s.Times))
+	StraightMergeFrom(straight, 256)
+	backward := core.NewCounter(makePairs(s.Times))
+	core.BackwardSort(backward, core.Options{FixedBlockSize: 256})
+	if backward.TotalMoves() >= straight.TotalMoves() {
+		t.Fatalf("backward merge (%d moves) did not beat straight merge (%d moves)",
+			backward.TotalMoves(), straight.TotalMoves())
+	}
+}
+
+func TestHeapsortOblivious(t *testing.T) {
+	// Heapsort does roughly the same work sorted or not — it is the
+	// non-adaptive floor. Just verify it sorts both.
+	for _, gen := range []func() []int64{
+		func() []int64 { return dataset.Ordered(2000, 1).Times },
+		func() []int64 { return dataset.LogNormal(2000, 1, 4, 1).Times },
+	} {
+		times := gen()
+		orig := make([]int64, len(times))
+		copy(orig, times)
+		p := makePairs(times)
+		Heapsort(p)
+		checkSortedPermutation(t, "heap", p, orig)
+	}
+}

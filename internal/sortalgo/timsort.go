@@ -1,0 +1,280 @@
+package sortalgo
+
+import "repro/internal/core"
+
+// Timsort sorts s with the run-detecting merge sort used as Java's
+// default (and as Apache IoTDB's sorting method before Backward-Sort,
+// Section VII-B): natural runs are detected (descending runs
+// reversed), short runs are extended to minrun by insertion sort, and
+// runs are merged under the classic stack invariants. Merges buffer
+// only the smaller run in scratch space.
+func Timsort(s core.Sortable) {
+	n := s.Len()
+	if n < 2 {
+		return
+	}
+	minrun := minRunLength(n)
+	var stack []runSpec
+	lo := 0
+	for lo < n {
+		hi := countRunAndMakeAscending(s, lo, n)
+		if hi-lo < minrun {
+			end := lo + minrun
+			if end > n {
+				end = n
+			}
+			core.InsertionSortRange(s, lo, end)
+			hi = end
+		}
+		stack = append(stack, runSpec{lo, hi - lo})
+		stack = mergeCollapse(s, stack)
+		lo = hi
+	}
+	// Force-merge whatever remains.
+	for len(stack) > 1 {
+		i := len(stack) - 2
+		mergeAt(s, stack, i)
+		stack[i].length += stack[i+1].length
+		stack = stack[:len(stack)-1]
+	}
+}
+
+type runSpec struct {
+	start, length int
+}
+
+// minRunLength mirrors CPython/Java: pick k in [16,32] such that
+// n/k is close to, but strictly less than, an exact power of 2.
+func minRunLength(n int) int {
+	r := 0
+	for n >= 32 {
+		r |= n & 1
+		n >>= 1
+	}
+	return n + r
+}
+
+// countRunAndMakeAscending returns the end of the natural run starting
+// at lo, reversing it in place if it is strictly descending.
+func countRunAndMakeAscending(s core.Sortable, lo, n int) int {
+	hi := lo + 1
+	if hi == n {
+		return hi
+	}
+	if s.Time(hi) < s.Time(lo) {
+		// Strictly descending run.
+		for hi < n && s.Time(hi) < s.Time(hi-1) {
+			hi++
+		}
+		for i, j := lo, hi-1; i < j; i, j = i+1, j-1 {
+			s.Swap(i, j)
+		}
+	} else {
+		for hi < n && s.Time(hi) >= s.Time(hi-1) {
+			hi++
+		}
+	}
+	return hi
+}
+
+// mergeCollapse restores the Timsort stack invariants:
+// len[i-2] > len[i-1] + len[i] and len[i-1] > len[i].
+func mergeCollapse(s core.Sortable, stack []runSpec) []runSpec {
+	for len(stack) > 1 {
+		i := len(stack) - 2
+		switch {
+		case i > 0 && stack[i-1].length <= stack[i].length+stack[i+1].length:
+			if stack[i-1].length < stack[i+1].length {
+				i--
+			}
+			mergeAt(s, stack, i)
+			stack[i].length += stack[i+1].length
+			copy(stack[i+1:], stack[i+2:])
+			stack = stack[:len(stack)-1]
+		case stack[i].length <= stack[i+1].length:
+			mergeAt(s, stack, i)
+			stack[i].length += stack[i+1].length
+			stack = stack[:len(stack)-1]
+		default:
+			return stack
+		}
+	}
+	return stack
+}
+
+// mergeAt merges stack runs i and i+1 (adjacent in the array).
+func mergeAt(s core.Sortable, stack []runSpec, i int) {
+	a, b := stack[i], stack[i+1]
+	mergeRuns(s, a.start, a.start+a.length, b.start+b.length)
+}
+
+// mergeRuns merges the adjacent sorted ranges [lo, mid) and [mid, hi),
+// buffering the smaller side. Leading records of the left run already
+// <= the right run's head (and trailing records of the right run
+// already >= the left run's tail) are skipped first, the same
+// locality-trim Timsort applies before galloping.
+func mergeRuns(s core.Sortable, lo, mid, hi int) {
+	if lo >= mid || mid >= hi {
+		return
+	}
+	// Trim: left records already in place.
+	head := s.Time(mid)
+	for lo < mid && s.Time(lo) <= head {
+		lo++
+	}
+	if lo == mid {
+		return
+	}
+	// Trim: right records already in place.
+	tail := s.Time(mid - 1)
+	for hi > mid && s.Time(hi-1) >= tail {
+		hi--
+	}
+	if mid-lo <= hi-mid {
+		mergeLo(s, lo, mid, hi)
+	} else {
+		mergeHi(s, lo, mid, hi)
+	}
+}
+
+// minGallop is the consecutive-win threshold that flips a merge into
+// galloping mode, as in Java's TimSort.
+const minGallop = 7
+
+// mergeLo buffers the left run and merges forward. After minGallop
+// consecutive wins by one side it gallops: an exponential search finds
+// how far the winning side runs, and that whole stretch is copied in
+// one burst — the adaptation that makes Timsort excel on data with
+// long sorted stretches.
+func mergeLo(s core.Sortable, lo, mid, hi int) {
+	r := mid - lo
+	s.EnsureScratch(r)
+	times := make([]int64, r)
+	for i := 0; i < r; i++ {
+		times[i] = s.Time(lo + i)
+		s.Save(lo+i, i)
+	}
+	i, j, dst := 0, mid, lo
+	winsL, winsR := 0, 0
+	for i < r && j < hi {
+		if times[i] <= s.Time(j) {
+			s.Restore(i, dst)
+			i++
+			dst++
+			winsL++
+			winsR = 0
+		} else {
+			s.Move(j, dst)
+			j++
+			dst++
+			winsR++
+			winsL = 0
+		}
+		if winsL >= minGallop && i < r && j < hi {
+			// Gallop left: count scratch records <= the right head.
+			key := s.Time(j)
+			n := gallopRight(func(k int) int64 { return times[i+k] }, r-i, key)
+			for k := 0; k < n; k++ {
+				s.Restore(i, dst)
+				i++
+				dst++
+			}
+			winsL = 0
+		}
+		if winsR >= minGallop && i < r && j < hi {
+			// Gallop right: count right records < the scratch head.
+			key := times[i]
+			n := gallopLeft(func(k int) int64 { return s.Time(j + k) }, hi-j, key)
+			for k := 0; k < n; k++ {
+				s.Move(j, dst)
+				j++
+				dst++
+			}
+			winsR = 0
+		}
+	}
+	for i < r {
+		s.Restore(i, dst)
+		i++
+		dst++
+	}
+}
+
+// gallopRight returns how many of the n keys (accessed via at) are
+// <= key, using exponential probing then binary search.
+func gallopRight(at func(int) int64, n int, key int64) int {
+	if n == 0 || at(0) > key {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && at(hi) <= key {
+		lo = hi
+		hi *= 2
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if at(mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopLeft returns how many of the n keys are strictly < key.
+func gallopLeft(at func(int) int64, n int, key int64) int {
+	if n == 0 || at(0) >= key {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < n && at(hi) < key {
+		lo = hi
+		hi *= 2
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if at(mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeHi buffers the right run and merges backward. It uses the
+// classic merge without galloping: the trim step already removed the
+// long already-in-place stretches, and mergeHi only runs when the
+// right run is the shorter side, so its stretches are short.
+func mergeHi(s core.Sortable, lo, mid, hi int) {
+	r := hi - mid
+	s.EnsureScratch(r)
+	times := make([]int64, r)
+	for i := 0; i < r; i++ {
+		times[i] = s.Time(mid + i)
+		s.Save(mid+i, i)
+	}
+	i, j, dst := r-1, mid-1, hi-1
+	for i >= 0 && j >= lo {
+		if times[i] >= s.Time(j) {
+			s.Restore(i, dst)
+			i--
+		} else {
+			s.Move(j, dst)
+			j--
+		}
+		dst--
+	}
+	for i >= 0 {
+		s.Restore(i, dst)
+		i--
+		dst--
+	}
+}

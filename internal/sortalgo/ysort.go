@@ -1,0 +1,92 @@
+package sortalgo
+
+import "repro/internal/core"
+
+// YSort sorts s with Wainwright's Quicksort variant (CACM 1985), a
+// baseline of the paper: each partitioning pass also locates the
+// minimum and maximum of the sublist and pins them to its left and
+// right ends, so recursion shrinks faster and already-sorted sublists
+// are detected and skipped. The paper observes it performs well at low
+// disorder and degrades when disorder is large — the sortedness check
+// and min/max scans are wasted work on heavily shuffled input.
+func YSort(s core.Sortable) { ySortRange(s, 0, s.Len()) }
+
+const yCutoff = 12
+
+func ySortRange(s core.Sortable, lo, hi int) {
+	for hi-lo > yCutoff {
+		if sortedRange(s, lo, hi) {
+			return
+		}
+		// Pin min and max to the ends.
+		minI, maxI := lo, lo
+		minT, maxT := s.Time(lo), s.Time(lo)
+		for i := lo + 1; i < hi; i++ {
+			t := s.Time(i)
+			if t < minT {
+				minT, minI = t, i
+			}
+			if t > maxT {
+				maxT, maxI = t, i
+			}
+		}
+		if minI != lo {
+			s.Swap(lo, minI)
+			if maxI == lo {
+				maxI = minI // max was displaced by the min swap
+			}
+		}
+		if maxI != hi-1 {
+			s.Swap(hi-1, maxI)
+		}
+		// Partition the interior around its middle element.
+		p := yPartition(s, lo+1, hi-1)
+		if p+1-(lo+1) < (hi-1)-(p+1) {
+			ySortRange(s, lo+1, p+1)
+			lo = p + 1
+		} else {
+			ySortRange(s, p+1, hi-1)
+			hi = p + 1
+		}
+	}
+	core.InsertionSortRange(s, lo, hi)
+}
+
+func sortedRange(s core.Sortable, lo, hi int) bool {
+	for i := lo + 1; i < hi; i++ {
+		if s.Time(i-1) > s.Time(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// yPartition is a Hoare partition of [lo, hi) around the middle
+// element, returning j with [lo, j] <= pivot <= [j+1, hi).
+func yPartition(s core.Sortable, lo, hi int) int {
+	if hi-lo < 2 {
+		return lo
+	}
+	mid := int(uint(lo+hi) >> 1)
+	s.Swap(lo, mid)
+	pivot := s.Time(lo)
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if s.Time(i) >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if s.Time(j) <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		s.Swap(i, j)
+	}
+}

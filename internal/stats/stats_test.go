@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEq(got, 2.5, 1e-12) {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if got := Std([]float64{5}); got != 0 {
+		t.Fatalf("Std of single = %g, want 0", got)
+	}
+	// Population std of {2,4,4,4,5,5,7,9} is 2.
+	if got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("Std = %g, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%g,%g), want (-1,7)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(nil) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentileBounds(t *testing.T) {
+	// Property: percentile is always within [min, max].
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, pp)
+		min, max := MinMax(xs)
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.Samples() != 100 {
+		t.Fatalf("Samples = %d, want 100", h.Samples())
+	}
+	for i := range h.Counts {
+		if h.Counts[i] != 10 {
+			t.Fatalf("bucket %d count %d, want 10", i, h.Counts[i])
+		}
+		if !almostEq(h.Density(i), 0.1, 1e-12) {
+			t.Fatalf("bucket %d density %g, want 0.1", i, h.Density(i))
+		}
+		if !almostEq(h.BucketCenter(i), float64(i)+0.5, 1e-12) {
+			t.Fatalf("bucket %d center %g", i, h.BucketCenter(i))
+		}
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("out-of-range samples not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi<=lo should panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}

@@ -1,0 +1,171 @@
+// Package stream implements out-of-order sliding-window aggregation —
+// the alternative approach to late data the paper contrasts with
+// (Section VII-B cites Tangwongsan et al.'s out-of-order window
+// aggregation): instead of buffering and sorting, a streaming operator
+// folds each event into its window's partial aggregate on arrival and
+// emits a window once the watermark passes its end plus an allowed
+// lateness. Events later than the allowed lateness are dropped and
+// counted, mirroring the accuracy/latency trade-off the paper
+// describes for sliding windows.
+//
+// The engine-based path (sort with Backward-Sort, then aggregate with
+// the query package) and this streaming path produce identical results
+// whenever every delay is within the allowed lateness — a property the
+// tests pin down.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// WindowResult mirrors query.WindowResult for emitted windows.
+type WindowResult = query.WindowResult
+
+// Aggregator configures a streaming windowed aggregation.
+type Aggregator struct {
+	window   int64
+	lateness int64
+	agg      query.Aggregator
+	emit     func(WindowResult)
+
+	watermark int64
+	started   bool
+	pending   map[int64]*acc
+	dropped   int64
+	emitted   int64
+}
+
+// acc is one window's running aggregate.
+type acc struct {
+	count int
+	value float64
+}
+
+// NewAggregator creates a streaming aggregator with tumbling windows
+// [k·window, (k+1)·window); emit is called exactly once per non-empty
+// window, in window order, once the watermark passes the window end
+// plus the allowed lateness.
+func NewAggregator(window, allowedLateness int64, agg query.Aggregator, emit func(WindowResult)) (*Aggregator, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("stream: window must be positive, got %d", window)
+	}
+	if allowedLateness < 0 {
+		return nil, fmt.Errorf("stream: negative lateness %d", allowedLateness)
+	}
+	switch agg {
+	case query.Count, query.Sum, query.Avg, query.Min, query.Max:
+	default:
+		// First/Last depend on arrival order under disorder; a
+		// streaming operator cannot provide the sorted-order
+		// semantics, so refuse rather than silently differ.
+		return nil, fmt.Errorf("stream: aggregator %v needs sorted input; use the query package", agg)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("stream: emit callback is required")
+	}
+	return &Aggregator{
+		window:   window,
+		lateness: allowedLateness,
+		agg:      agg,
+		emit:     emit,
+		pending:  make(map[int64]*acc),
+	}, nil
+}
+
+// windowStart floors t to its window start (handles negatives).
+func (a *Aggregator) windowStart(t int64) int64 {
+	ws := t / a.window * a.window
+	if t < 0 && t%a.window != 0 {
+		ws -= a.window
+	}
+	return ws
+}
+
+// Insert folds one event in. Events whose window already closed
+// (watermark > window end + lateness) are dropped and counted.
+func (a *Aggregator) Insert(t int64, v float64) {
+	if a.started && t <= a.watermark-a.lateness {
+		// The watermark is the max event time seen; a window closes
+		// when watermark - lateness passes its end.
+		if a.windowStart(t)+a.window <= a.watermark-a.lateness {
+			a.dropped++
+			return
+		}
+	}
+	ws := a.windowStart(t)
+	w, ok := a.pending[ws]
+	if !ok {
+		w = &acc{}
+		a.pending[ws] = w
+	}
+	w.count++
+	switch a.agg {
+	case query.Count:
+		w.value = float64(w.count)
+	case query.Sum, query.Avg:
+		w.value += v
+	case query.Min:
+		if w.count == 1 || v < w.value {
+			w.value = v
+		}
+	case query.Max:
+		if w.count == 1 || v > w.value {
+			w.value = v
+		}
+	}
+	if !a.started || t > a.watermark {
+		a.watermark = t
+		a.started = true
+		a.drain()
+	}
+}
+
+// drain emits every pending window whose end+lateness the watermark
+// has passed, in window order.
+func (a *Aggregator) drain() {
+	var due []int64
+	for ws := range a.pending {
+		if ws+a.window+a.lateness <= a.watermark {
+			due = append(due, ws)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, ws := range due {
+		a.flushWindow(ws)
+	}
+}
+
+func (a *Aggregator) flushWindow(ws int64) {
+	w := a.pending[ws]
+	delete(a.pending, ws)
+	out := WindowResult{Start: ws, Count: w.count, Value: w.value}
+	if a.agg == query.Avg && w.count > 0 {
+		out.Value /= float64(w.count)
+	}
+	a.emitted++
+	a.emit(out)
+}
+
+// Close flushes every remaining window (end of stream), in order.
+func (a *Aggregator) Close() {
+	var rest []int64
+	for ws := range a.pending {
+		rest = append(rest, ws)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, ws := range rest {
+		a.flushWindow(ws)
+	}
+}
+
+// Dropped reports how many events arrived too late and were discarded.
+func (a *Aggregator) Dropped() int64 { return a.dropped }
+
+// Emitted reports how many windows have been emitted.
+func (a *Aggregator) Emitted() int64 { return a.emitted }
+
+// Watermark returns the max event time observed.
+func (a *Aggregator) Watermark() int64 { return a.watermark }

@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+func collect() (*[]WindowResult, func(WindowResult)) {
+	var out []WindowResult
+	return &out, func(w WindowResult) { out = append(out, w) }
+}
+
+func TestOrderedStreamBasic(t *testing.T) {
+	got, emit := collect()
+	a, err := NewAggregator(10, 0, query.Avg, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		a.Insert(i, float64(i))
+	}
+	a.Close()
+	if len(*got) != 3 {
+		t.Fatalf("windows = %+v", *got)
+	}
+	if (*got)[0].Value != 4.5 || (*got)[1].Value != 14.5 || (*got)[2].Value != 24.5 {
+		t.Fatalf("averages = %+v", *got)
+	}
+	if a.Dropped() != 0 || a.Emitted() != 3 {
+		t.Fatalf("stats: dropped %d emitted %d", a.Dropped(), a.Emitted())
+	}
+}
+
+func TestEmitOrderAndWatermark(t *testing.T) {
+	got, emit := collect()
+	// Lateness 30 covers every delay in the event sequence below.
+	a, err := NewAggregator(10, 30, query.Count, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of order across four windows; max delay is 9 arriving after
+	// watermark 21 (12 late).
+	for _, tt := range []int64{3, 15, 7, 21, 9, 36} {
+		a.Insert(tt, 0)
+	}
+	if a.Watermark() != 36 {
+		t.Fatalf("watermark = %d", a.Watermark())
+	}
+	a.Close()
+	if a.Dropped() != 0 {
+		t.Fatalf("dropped = %d", a.Dropped())
+	}
+	// Windows 0,10,20,30 all non-empty and in order.
+	starts := []int64{0, 10, 20, 30}
+	counts := []int{3, 1, 1, 1}
+	if len(*got) != 4 {
+		t.Fatalf("windows = %+v", *got)
+	}
+	for i, w := range *got {
+		if w.Start != starts[i] || w.Count != counts[i] {
+			t.Fatalf("emit order/content wrong: %+v", *got)
+		}
+	}
+}
+
+func TestLateEventsDroppedBeyondLateness(t *testing.T) {
+	got, emit := collect()
+	a, err := NewAggregator(10, 5, query.Sum, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Insert(100, 1) // watermark 100: windows ending <= 95 are closed
+	a.Insert(3, 99)  // window [0,10) long closed -> dropped
+	a.Insert(97, 2)  // within the open window
+	a.Insert(92, 5)  // window [90,100) still open (ends 100 > 95)
+	a.Close()
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d", a.Dropped())
+	}
+	var total float64
+	for _, w := range *got {
+		total += w.Value
+	}
+	if total != 8 { // 1+2+5, the 99 was dropped
+		t.Fatalf("sum = %g, windows %+v", total, *got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, emit := collect()
+	if _, err := NewAggregator(0, 0, query.Avg, emit); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewAggregator(10, -1, query.Avg, emit); err == nil {
+		t.Fatal("negative lateness accepted")
+	}
+	if _, err := NewAggregator(10, 0, query.First, emit); err == nil {
+		t.Fatal("order-dependent aggregator accepted")
+	}
+	if _, err := NewAggregator(10, 0, query.Avg, nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+}
+
+func TestNegativeTimestampsWindowing(t *testing.T) {
+	// With zero lateness, an event whose window closed behind the
+	// watermark is dropped — even at negative timestamps.
+	got, emit := collect()
+	a, err := NewAggregator(10, 0, query.Count, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Insert(-5, 0)  // window [-10, 0), watermark -5
+	a.Insert(-15, 0) // window [-20, -10) ended at -10 <= -5: dropped
+	a.Insert(25, 0)
+	a.Close()
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d", a.Dropped())
+	}
+	if len(*got) != 2 || (*got)[0].Start != -10 || (*got)[1].Start != 20 {
+		t.Fatalf("windows = %+v", *got)
+	}
+
+	// Enough lateness keeps the same event.
+	got2, emit2 := collect()
+	a2, err := NewAggregator(10, 20, query.Count, emit2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.Insert(-5, 0)
+	a2.Insert(-15, 0)
+	a2.Insert(25, 0)
+	a2.Close()
+	if a2.Dropped() != 0 || len(*got2) != 3 || (*got2)[0].Start != -20 {
+		t.Fatalf("lateness path: dropped %d windows %+v", a2.Dropped(), *got2)
+	}
+}
+
+// TestStreamingMatchesSortThenAggregate is the headline property: when
+// every delay fits inside the allowed lateness, the streaming operator
+// and the sort-then-aggregate path (Backward-Sort inside the engine,
+// then query.AggregateWindows) produce identical windows.
+func TestStreamingMatchesSortThenAggregate(t *testing.T) {
+	s := dataset.SamsungS10(20000, 31) // bounded delays (≤ 29 intervals)
+	const window = 50 * 1000           // 50 generation intervals, in ticks
+
+	// Streaming path: generous lateness covers the max delay.
+	got, emit := collect()
+	a, err := NewAggregator(window, 40*1000, query.Avg, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Times {
+		a.Insert(s.Times[i], s.Values[i])
+	}
+	a.Close()
+	if a.Dropped() != 0 {
+		t.Fatalf("dropped %d events despite sufficient lateness", a.Dropped())
+	}
+
+	// Sort-then-aggregate path.
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1 << 20, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := range s.Times {
+		if err := e.Insert("s", s.Times[i], s.Values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxT := s.Times[0]
+	for _, tt := range s.Times {
+		if tt > maxT {
+			maxT = tt
+		}
+	}
+	want, err := query.WindowQuery(e, "s", 0, maxT+1, window, query.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(*got) != len(want) {
+		t.Fatalf("window counts differ: stream %d vs sorted %d", len(*got), len(want))
+	}
+	for i := range want {
+		g, w := (*got)[i], want[i]
+		if g.Start != w.Start || g.Count != w.Count || math.Abs(g.Value-w.Value) > 1e-9 {
+			t.Fatalf("window %d differs: stream %+v vs sorted %+v", i, g, w)
+		}
+	}
+}
+
+func TestInsufficientLatenessLosesData(t *testing.T) {
+	// The flip side of the equivalence: lateness below the max delay
+	// drops events — the accuracy/latency trade-off of Section VII-B.
+	s := dataset.CitiBike201808(20000, 31) // delays up to tens of thousands of intervals
+	_, emit := collect()
+	a, err := NewAggregator(50*1000, 1000, query.Count, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Times {
+		a.Insert(s.Times[i], s.Values[i])
+	}
+	a.Close()
+	if a.Dropped() == 0 {
+		t.Fatal("heavy disorder with tiny lateness should drop events")
+	}
+}

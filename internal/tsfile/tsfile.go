@@ -1,0 +1,387 @@
+// Package tsfile implements the compact columnar chunk file this
+// repository's storage engine flushes memtables into — a simplified
+// stand-in for Apache IoTDB's TsFile that preserves the properties the
+// paper's experiments depend on: chunks must be written in time order
+// (which is why flushing sorts), chunk metadata carries time bounds
+// for query pruning, and flushing pays real encoding + I/O cost.
+//
+// Layout:
+//
+//	magic "GTSF0001"
+//	chunk*   — per (sensor) chunk:
+//	             uvarint nameLen, name bytes
+//	             TS2Diff-encoded timestamps (encoding package)
+//	             Gorilla-encoded float64 values (encoding package)
+//	             uint32  CRC-32 (IEEE) of the chunk payload
+//	index    — uvarint entryCount, then per chunk:
+//	             uvarint nameLen, name, uvarint offset, uvarint count,
+//	             varint minTime, varint maxTime
+//	footer   — 8-byte little-endian index offset, magic "GTSFEND1"
+//
+// Sorted regular timestamps compress to ~1–2 bytes each under TS2Diff
+// (IoTDB's TS_2DIFF family) and slowly varying values to a few bits
+// under Gorilla, IoTDB's float codec.
+package tsfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/encoding"
+)
+
+const (
+	magicHead = "GTSF0001"
+	magicTail = "GTSFEND1"
+)
+
+// ErrCorrupt is wrapped by every integrity failure the reader detects.
+var ErrCorrupt = errors.New("tsfile: corrupt file")
+
+// maxSensorName bounds sensor names so that a plain chunk's first
+// payload byte (the name-length uvarint) can never be the 0xFF marker
+// that identifies typed chunks.
+const maxSensorName = 120
+
+// ChunkMeta describes one chunk in a file's index.
+type ChunkMeta struct {
+	Sensor  string
+	Offset  int64
+	Count   int
+	MinTime int64
+	MaxTime int64
+}
+
+// Writer writes a tsfile. Chunks append sequentially; Close writes
+// the index and footer. A Writer is not safe for concurrent use.
+type Writer struct {
+	f      *os.File
+	w      *bufio.Writer
+	off    int64
+	index  []ChunkMeta
+	closed bool
+	// SyncOnClose forces an fsync in Close. The storage engine leaves
+	// it off — like IoTDB's default flush, durability is the OS page
+	// cache's problem, and a per-file fsync would swamp the flush-time
+	// metric the experiments measure.
+	SyncOnClose bool
+}
+
+// Create opens path for writing, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := w.w.WriteString(magicHead); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = int64(len(magicHead))
+	return w, nil
+}
+
+// WriteChunk appends one chunk. times must be nondecreasing — the
+// invariant sorting establishes before flush — and len(times) must
+// equal len(values) and be > 0.
+func (w *Writer) WriteChunk(sensor string, times []int64, values []float64) error {
+	if w.closed {
+		return errors.New("tsfile: write after Close")
+	}
+	if len(times) == 0 || len(times) != len(values) {
+		return fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
+	}
+	if len(sensor) > maxSensorName {
+		return fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
+		}
+	}
+
+	payload := encodeChunk(sensor, times, values)
+	sum := crc32.ChecksumIEEE(payload)
+	meta := ChunkMeta{
+		Sensor:  sensor,
+		Offset:  w.off,
+		Count:   len(times),
+		MinTime: times[0],
+		MaxTime: times[len(times)-1],
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], sum)
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	w.off += int64(len(payload)) + 4
+	w.index = append(w.index, meta)
+	return nil
+}
+
+func encodeChunk(sensor string, times []int64, values []float64) []byte {
+	buf := make([]byte, 0, len(sensor)+16+len(times)*3+len(values)*8)
+	buf = binary.AppendUvarint(buf, uint64(len(sensor)))
+	buf = append(buf, sensor...)
+	buf = encoding.AppendTS2Diff(buf, times)
+	buf = encoding.AppendGorilla(buf, values)
+	return buf
+}
+
+// Close writes the index and footer and syncs the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	indexOff := w.off
+	idx := make([]byte, 0, 64*len(w.index))
+	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
+	for _, m := range w.index {
+		idx = binary.AppendUvarint(idx, uint64(len(m.Sensor)))
+		idx = append(idx, m.Sensor...)
+		idx = binary.AppendUvarint(idx, uint64(m.Offset))
+		idx = binary.AppendUvarint(idx, uint64(m.Count))
+		idx = binary.AppendVarint(idx, m.MinTime)
+		idx = binary.AppendVarint(idx, m.MaxTime)
+	}
+	if _, err := w.w.Write(idx); err != nil {
+		return err
+	}
+	var foot [8]byte
+	binary.LittleEndian.PutUint64(foot[:], uint64(indexOff))
+	if _, err := w.w.Write(foot[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(magicTail); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.SyncOnClose {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// Index returns the chunk metadata written so far; after Close it is
+// the complete file index (callers cache it to avoid re-reading).
+func (w *Writer) Index() []ChunkMeta {
+	out := make([]ChunkMeta, len(w.index))
+	copy(out, w.index)
+	return out
+}
+
+// Reader reads a tsfile. It is safe for concurrent ReadChunk calls.
+type Reader struct {
+	f     *os.File
+	index []ChunkMeta
+}
+
+// Open opens a tsfile and loads its index.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f}
+	if err := r.loadIndex(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) loadIndex() error {
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	tailLen := int64(8 + len(magicTail))
+	if st.Size() < int64(len(magicHead))+tailLen {
+		return fmt.Errorf("%w: too small (%d bytes)", ErrCorrupt, st.Size())
+	}
+	head := make([]byte, len(magicHead))
+	if _, err := r.f.ReadAt(head, 0); err != nil {
+		return err
+	}
+	if string(head) != magicHead {
+		return fmt.Errorf("%w: bad head magic %q", ErrCorrupt, head)
+	}
+	tail := make([]byte, tailLen)
+	if _, err := r.f.ReadAt(tail, st.Size()-tailLen); err != nil {
+		return err
+	}
+	if string(tail[8:]) != magicTail {
+		return fmt.Errorf("%w: bad tail magic %q", ErrCorrupt, tail[8:])
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if indexOff < int64(len(magicHead)) || indexOff >= st.Size()-tailLen {
+		return fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOff)
+	}
+	idx := make([]byte, st.Size()-tailLen-indexOff)
+	if _, err := r.f.ReadAt(idx, indexOff); err != nil {
+		return err
+	}
+	br := &sliceReader{b: idx}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: index count: %v", ErrCorrupt, err)
+	}
+	for i := uint64(0); i < count; i++ {
+		var m ChunkMeta
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d: %v", ErrCorrupt, i, err)
+		}
+		name, err := br.take(int(nameLen))
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d name: %v", ErrCorrupt, i, err)
+		}
+		m.Sensor = string(name)
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d offset: %v", ErrCorrupt, i, err)
+		}
+		m.Offset = int64(off)
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d count: %v", ErrCorrupt, i, err)
+		}
+		m.Count = int(cnt)
+		if m.MinTime, err = binary.ReadVarint(br); err != nil {
+			return fmt.Errorf("%w: index entry %d mintime: %v", ErrCorrupt, i, err)
+		}
+		if m.MaxTime, err = binary.ReadVarint(br); err != nil {
+			return fmt.Errorf("%w: index entry %d maxtime: %v", ErrCorrupt, i, err)
+		}
+		r.index = append(r.index, m)
+	}
+	return nil
+}
+
+// Index returns the file's chunk metadata.
+func (r *Reader) Index() []ChunkMeta {
+	out := make([]ChunkMeta, len(r.index))
+	copy(out, r.index)
+	return out
+}
+
+// ReadChunk decodes the chunk at meta, verifying its CRC.
+func (r *Reader) ReadChunk(meta ChunkMeta) ([]int64, []float64, error) {
+	// Upper-bound the payload size: name + worst-case TS2Diff varints
+	// (10 B/value) + worst-case Gorilla (~10 B/value: 2 control bits +
+	// 11 window bits + 64 payload bits) + headers + crc.
+	maxLen := 10 + len(meta.Sensor) + meta.Count*21 + 64
+	buf := make([]byte, maxLen)
+	n, err := r.f.ReadAt(buf, meta.Offset)
+	if err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	buf = buf[:n]
+	if len(buf) > 0 && buf[0] == 0xFF {
+		return nil, nil, fmt.Errorf("tsfile: chunk at %d is typed; use ReadTypedChunk", meta.Offset)
+	}
+	br := &sliceReader{b: buf}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: chunk name len: %v", ErrCorrupt, err)
+	}
+	name, err := br.take(int(nameLen))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: chunk name: %v", ErrCorrupt, err)
+	}
+	if string(name) != meta.Sensor {
+		return nil, nil, fmt.Errorf("%w: chunk sensor %q, index says %q", ErrCorrupt, name, meta.Sensor)
+	}
+	times, consumed, err := encoding.DecodeTS2Diff(buf[br.pos:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: timestamps: %v", ErrCorrupt, err)
+	}
+	br.pos += consumed
+	if len(times) != meta.Count {
+		return nil, nil, fmt.Errorf("%w: chunk count %d, index says %d", ErrCorrupt, len(times), meta.Count)
+	}
+	values, consumed, err := encoding.DecodeGorilla(buf[br.pos:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: values: %v", ErrCorrupt, err)
+	}
+	br.pos += consumed
+	if len(values) != meta.Count {
+		return nil, nil, fmt.Errorf("%w: value count %d, index says %d", ErrCorrupt, len(values), meta.Count)
+	}
+	payloadLen := br.pos
+	crcBytes, err := br.take(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: crc: %v", ErrCorrupt, err)
+	}
+	want := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(buf[:payloadLen]); got != want {
+		return nil, nil, fmt.Errorf("%w: chunk crc mismatch: %08x != %08x", ErrCorrupt, got, want)
+	}
+	return times, values, nil
+}
+
+// QuerySensor returns all (time, value) records of sensor within
+// [minT, maxT], merged across the file's chunks in time order. Chunks
+// whose time bounds do not intersect the range are pruned without
+// touching the disk.
+func (r *Reader) QuerySensor(sensor string, minT, maxT int64) ([]int64, []float64, error) {
+	var outT []int64
+	var outV []float64
+	for _, m := range r.index {
+		if m.Sensor != sensor || m.MaxTime < minT || m.MinTime > maxT {
+			continue
+		}
+		ts, vs, err := r.ReadChunk(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, t := range ts {
+			if t >= minT && t <= maxT {
+				outT = append(outT, t)
+				outV = append(outV, vs[i])
+			}
+		}
+	}
+	return outT, outV, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// sliceReader is a byte-slice io.ByteReader with a take helper.
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	if s.pos >= len(s.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	c := s.b[s.pos]
+	s.pos++
+	return c, nil
+}
+
+func (s *sliceReader) take(n int) ([]byte, error) {
+	if s.pos+n > len(s.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := s.b[s.pos : s.pos+n]
+	s.pos += n
+	return out, nil
+}

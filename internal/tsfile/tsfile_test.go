@@ -1,0 +1,291 @@
+package tsfile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.gtsf")
+}
+
+func TestRoundTripSingleChunk(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []int64{1, 5, 5, 9, 100000}
+	values := []float64{0.5, -3, math.Pi, math.Inf(1), math.MaxFloat64}
+	if err := w.WriteChunk("s1", times, values); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	idx := r.Index()
+	if len(idx) != 1 || idx[0].Sensor != "s1" || idx[0].Count != 5 ||
+		idx[0].MinTime != 1 || idx[0].MaxTime != 100000 {
+		t.Fatalf("index wrong: %+v", idx)
+	}
+	ts, vs, err := r.ReadChunk(idx[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range times {
+		if ts[i] != times[i] || vs[i] != values[i] {
+			t.Fatalf("record %d mismatch: (%d,%g) vs (%d,%g)", i, ts[i], vs[i], times[i], values[i])
+		}
+	}
+}
+
+func TestRoundTripManyChunksQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), "q.gtsf")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type chunk struct {
+			sensor string
+			ts     []int64
+			vs     []float64
+		}
+		var chunks []chunk
+		nChunks := 1 + r.Intn(5)
+		for c := 0; c < nChunks; c++ {
+			n := 1 + r.Intn(300)
+			ts := make([]int64, n)
+			vs := make([]float64, n)
+			cur := r.Int63n(1000) - 500
+			for i := range ts {
+				cur += r.Int63n(100) // nondecreasing, may repeat
+				ts[i] = cur
+				vs[i] = r.NormFloat64() * 1e6
+			}
+			ch := chunk{sensor: string(rune('a' + c)), ts: ts, vs: vs}
+			chunks = append(chunks, ch)
+			if err := w.WriteChunk(ch.sensor, ch.ts, ch.vs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		idx := rd.Index()
+		if len(idx) != len(chunks) {
+			return false
+		}
+		for i, ch := range chunks {
+			ts, vs, err := rd.ReadChunk(idx[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range ch.ts {
+				if ts[j] != ch.ts[j] || vs[j] != ch.vs[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteChunkValidation(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteChunk("s", nil, nil); err == nil {
+		t.Fatal("empty chunk accepted")
+	}
+	if err := w.WriteChunk("s", []int64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := w.WriteChunk("s", []int64{2, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("unsorted chunk accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("s", []int64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("s", []int64{2}, []float64{2}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestQuerySensorPruningAndFilter(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two chunks for sensor a with disjoint time ranges, one for b.
+	if err := w.WriteChunk("a", []int64{1, 2, 3}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("a", []int64{10, 20, 30}, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("b", []int64{2, 4}, []float64{-2, -4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ts, vs, err := r.QuerySensor("a", 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0] != 2 || ts[1] != 3 || ts[2] != 10 || vs[2] != 10 {
+		t.Fatalf("QuerySensor = %v %v", ts, vs)
+	}
+	ts, _, err = r.QuerySensor("b", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("sensor b results: %v", ts)
+	}
+	ts, _, err = r.QuerySensor("nope", 0, 100)
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("unknown sensor should be empty, got %v %v", ts, err)
+	}
+	ts, _, err = r.QuerySensor("a", 1000, 2000)
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("out-of-range query should be empty, got %v %v", ts, err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]int64, 100)
+	values := make([]float64, 100)
+	for i := range times {
+		times[i] = int64(i)
+		values[i] = float64(i)
+	}
+	if err := w.WriteChunk("s", times, values); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the chunk payload (past the head magic).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // index is at the end and untouched
+	}
+	defer r.Close()
+	if _, _, err := r.ReadChunk(r.Index()[0]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	// Too small.
+	small := filepath.Join(dir, "small")
+	if err := os.WriteFile(small, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(small); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tiny file accepted: %v", err)
+	}
+	// Wrong magic, right size.
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+	// Missing file.
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTimestampCompression(t *testing.T) {
+	// Regular sorted timestamps must encode far below 8 bytes each.
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10000
+	times := make([]int64, n)
+	values := make([]float64, n)
+	for i := range times {
+		times[i] = int64(i) * 1000
+	}
+	if err := w.WriteChunk("s", times, values); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 bytes/value is irreducible here; timestamps should add ~2
+	// bytes each, not 8.
+	if st.Size() > int64(n*8+n*4) {
+		t.Fatalf("file too large for delta encoding: %d bytes", st.Size())
+	}
+}

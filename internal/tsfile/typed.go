@@ -1,0 +1,290 @@
+package tsfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/encoding"
+)
+
+// ValueType tags a typed chunk's column type, mirroring the data types
+// Apache IoTDB specializes its TVLists for (Section V-A of the paper).
+type ValueType byte
+
+// Supported column types.
+const (
+	TypeDouble ValueType = 0 // float64, Gorilla-encoded
+	TypeInt64  ValueType = 1 // int64, zig-zag varint
+	TypeBool   ValueType = 2 // bool, run-length encoded
+	TypeText   ValueType = 3 // string, length-prefixed
+)
+
+// String returns the IoTDB-style type name.
+func (v ValueType) String() string {
+	switch v {
+	case TypeDouble:
+		return "DOUBLE"
+	case TypeInt64:
+		return "INT64"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("ValueType(%d)", byte(v))
+	}
+}
+
+// TypedValues is implemented by the value column types a typed chunk
+// can hold.
+type TypedValues interface {
+	~[]float64 | ~[]int64 | ~[]bool | ~[]string
+}
+
+// WriteTypedChunk appends one chunk whose value column is typed. The
+// layout extends the plain chunk with a leading 0xFF marker byte and a
+// type tag, so plain (double) chunks written by WriteChunk remain
+// readable and typed readers can dispatch:
+//
+//	0xFF | type | uvarint nameLen | name | TS2Diff times | values | crc
+func WriteTypedChunk[V TypedValues](w *Writer, sensor string, times []int64, values V) error {
+	if w.closed {
+		return fmt.Errorf("tsfile: write after Close")
+	}
+	if len(times) == 0 || len(times) != len(values) {
+		return fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
+	}
+	if len(sensor) > maxSensorName {
+		return fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
+		}
+	}
+	payload := []byte{0xFF, byte(valueTypeOf(values))}
+	payload = binary.AppendUvarint(payload, uint64(len(sensor)))
+	payload = append(payload, sensor...)
+	payload = encoding.AppendTS2Diff(payload, times)
+	payload = appendTypedValues(payload, values)
+
+	sum := crc32.ChecksumIEEE(payload)
+	meta := ChunkMeta{
+		Sensor:  sensor,
+		Offset:  w.off,
+		Count:   len(times),
+		MinTime: times[0],
+		MaxTime: times[len(times)-1],
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], sum)
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	w.off += int64(len(payload)) + 4
+	w.index = append(w.index, meta)
+	return nil
+}
+
+func valueTypeOf(values any) ValueType {
+	switch values.(type) {
+	case []float64:
+		return TypeDouble
+	case []int64:
+		return TypeInt64
+	case []bool:
+		return TypeBool
+	case []string:
+		return TypeText
+	default:
+		panic(fmt.Sprintf("tsfile: unsupported value column %T", values))
+	}
+}
+
+func appendTypedValues(dst []byte, values any) []byte {
+	switch vs := values.(type) {
+	case []float64:
+		return encoding.AppendGorilla(dst, vs)
+	case []int64:
+		dst = binary.AppendUvarint(dst, uint64(len(vs)))
+		for _, v := range vs {
+			dst = binary.AppendVarint(dst, v)
+		}
+		return dst
+	case []bool:
+		return encoding.AppendRLEBool(dst, vs)
+	case []string:
+		dst = binary.AppendUvarint(dst, uint64(len(vs)))
+		for _, v := range vs {
+			dst = binary.AppendUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("tsfile: unsupported value column %T", values))
+	}
+}
+
+// ReadTypedChunk decodes a chunk written by WriteTypedChunk, verifying
+// its CRC. The value column is returned as one of []float64, []int64,
+// []bool or []string according to the returned ValueType.
+func (r *Reader) ReadTypedChunk(meta ChunkMeta) ([]int64, any, ValueType, error) {
+	maxLen := 12 + len(meta.Sensor) + meta.Count*21 + 64
+	// Text columns have no fixed per-value bound; read generously and
+	// retry larger on truncation.
+	buf, err := r.readAt(meta.Offset, maxLen)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	times, values, vt, consumed, derr := decodeTypedChunk(buf, meta)
+	for derr == errNeedMore {
+		maxLen *= 4
+		if maxLen > 1<<30 {
+			return nil, nil, 0, fmt.Errorf("%w: typed chunk unreasonably large", ErrCorrupt)
+		}
+		buf, err = r.readAt(meta.Offset, maxLen)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		times, values, vt, consumed, derr = decodeTypedChunk(buf, meta)
+	}
+	if derr != nil {
+		return nil, nil, 0, derr
+	}
+	_ = consumed
+	return times, values, vt, nil
+}
+
+var errNeedMore = fmt.Errorf("tsfile: need more bytes")
+
+func decodeTypedChunk(buf []byte, meta ChunkMeta) ([]int64, any, ValueType, int, error) {
+	br := &sliceReader{b: buf}
+	marker, err := br.ReadByte()
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	if marker != 0xFF {
+		return nil, nil, 0, 0, fmt.Errorf("%w: not a typed chunk (marker %02x)", ErrCorrupt, marker)
+	}
+	tb, err := br.ReadByte()
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	vt := ValueType(tb)
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	name, err := br.take(int(nameLen))
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	if string(name) != meta.Sensor {
+		return nil, nil, 0, 0, fmt.Errorf("%w: chunk sensor %q, index says %q", ErrCorrupt, name, meta.Sensor)
+	}
+	times, consumed, err := encoding.DecodeTS2Diff(buf[br.pos:])
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	br.pos += consumed
+	if len(times) != meta.Count {
+		return nil, nil, 0, 0, fmt.Errorf("%w: chunk count %d, index says %d", ErrCorrupt, len(times), meta.Count)
+	}
+	var values any
+	switch vt {
+	case TypeDouble:
+		vs, n, err := encoding.DecodeGorilla(buf[br.pos:])
+		if err != nil {
+			return nil, nil, 0, 0, errNeedMore
+		}
+		br.pos += n
+		values = vs
+	case TypeInt64:
+		n, read := binary.Uvarint(buf[br.pos:])
+		if read <= 0 {
+			return nil, nil, 0, 0, errNeedMore
+		}
+		br.pos += read
+		vs := make([]int64, n)
+		for i := range vs {
+			v, read := binary.Varint(buf[br.pos:])
+			if read <= 0 {
+				return nil, nil, 0, 0, errNeedMore
+			}
+			br.pos += read
+			vs[i] = v
+		}
+		values = vs
+	case TypeBool:
+		vs, n, err := encoding.DecodeRLEBool(buf[br.pos:])
+		if err != nil {
+			return nil, nil, 0, 0, errNeedMore
+		}
+		br.pos += n
+		values = vs
+	case TypeText:
+		n, read := binary.Uvarint(buf[br.pos:])
+		if read <= 0 {
+			return nil, nil, 0, 0, errNeedMore
+		}
+		br.pos += read
+		vs := make([]string, n)
+		for i := range vs {
+			slen, read := binary.Uvarint(buf[br.pos:])
+			if read <= 0 {
+				return nil, nil, 0, 0, errNeedMore
+			}
+			br.pos += read
+			b, err := (&sliceReader{b: buf, pos: br.pos}).take(int(slen))
+			if err != nil {
+				return nil, nil, 0, 0, errNeedMore
+			}
+			vs[i] = string(b)
+			br.pos += int(slen)
+		}
+		values = vs
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("%w: unknown value type %d", ErrCorrupt, tb)
+	}
+	if countOfTyped(values) != meta.Count {
+		return nil, nil, 0, 0, fmt.Errorf("%w: value count mismatch", ErrCorrupt)
+	}
+	payloadLen := br.pos
+	crcBytes, err := br.take(4)
+	if err != nil {
+		return nil, nil, 0, 0, errNeedMore
+	}
+	want := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(buf[:payloadLen]); got != want {
+		return nil, nil, 0, 0, fmt.Errorf("%w: typed chunk crc mismatch", ErrCorrupt)
+	}
+	return times, values, vt, br.pos, nil
+}
+
+func countOfTyped(values any) int {
+	switch vs := values.(type) {
+	case []float64:
+		return len(vs)
+	case []int64:
+		return len(vs)
+	case []bool:
+		return len(vs)
+	case []string:
+		return len(vs)
+	}
+	return -1
+}
+
+// readAt reads up to n bytes at off, tolerating a short read at EOF.
+func (r *Reader) readAt(off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	got, err := r.f.ReadAt(buf, off)
+	if err != nil && got == 0 {
+		return nil, err
+	}
+	return buf[:got], nil
+}

@@ -1,0 +1,187 @@
+package tsfile
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTypedRoundTripAllTypes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "typed.gtsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []int64{1, 2, 3, 4}
+	if err := WriteTypedChunk(w, "d", times, []float64{1.5, 2.5, math.Inf(1), -0.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "i", times, []int64{-5, 0, 5, math.MaxInt64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "b", times, []bool{true, false, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "t", times, []string{"", "a", "héllo", strings.Repeat("x", 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	idx := r.Index()
+	if len(idx) != 4 {
+		t.Fatalf("index = %+v", idx)
+	}
+
+	ts, vals, vt, err := r.ReadTypedChunk(idx[0])
+	if err != nil || vt != TypeDouble {
+		t.Fatalf("double chunk: %v, %v", vt, err)
+	}
+	if ts[3] != 4 {
+		t.Fatal("times wrong")
+	}
+	ds := vals.([]float64)
+	if ds[0] != 1.5 || !math.IsInf(ds[2], 1) {
+		t.Fatalf("double values %v", ds)
+	}
+
+	_, vals, vt, err = r.ReadTypedChunk(idx[1])
+	if err != nil || vt != TypeInt64 {
+		t.Fatalf("int chunk: %v, %v", vt, err)
+	}
+	is := vals.([]int64)
+	if is[0] != -5 || is[3] != math.MaxInt64 {
+		t.Fatalf("int values %v", is)
+	}
+
+	_, vals, vt, err = r.ReadTypedChunk(idx[2])
+	if err != nil || vt != TypeBool {
+		t.Fatalf("bool chunk: %v, %v", vt, err)
+	}
+	bs := vals.([]bool)
+	if !bs[0] || bs[1] || !bs[3] {
+		t.Fatalf("bool values %v", bs)
+	}
+
+	_, vals, vt, err = r.ReadTypedChunk(idx[3])
+	if err != nil || vt != TypeText {
+		t.Fatalf("text chunk: %v, %v", vt, err)
+	}
+	ss := vals.([]string)
+	if ss[0] != "" || ss[2] != "héllo" || len(ss[3]) != 1000 {
+		t.Fatalf("text values %v", ss[:3])
+	}
+}
+
+func TestTypedAndPlainChunksCoexist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.gtsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("plain", []int64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "typed", []int64{2}, []int64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	idx := r.Index()
+	if _, _, err := r.ReadChunk(idx[0]); err != nil {
+		t.Fatalf("plain chunk unreadable: %v", err)
+	}
+	// Plain reader must refuse typed chunks loudly, not misparse.
+	if _, _, err := r.ReadChunk(idx[1]); err == nil {
+		t.Fatal("plain ReadChunk accepted a typed chunk")
+	}
+	if _, _, vt, err := r.ReadTypedChunk(idx[1]); err != nil || vt != TypeInt64 {
+		t.Fatalf("typed chunk: %v %v", vt, err)
+	}
+}
+
+func TestTypedValidation(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "v.gtsf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := WriteTypedChunk(w, "s", nil, []int64{}); err == nil {
+		t.Fatal("empty typed chunk accepted")
+	}
+	if err := WriteTypedChunk(w, "s", []int64{2, 1}, []int64{1, 2}); err == nil {
+		t.Fatal("unsorted typed chunk accepted")
+	}
+	if err := WriteTypedChunk(w, strings.Repeat("n", 200), []int64{1}, []int64{1}); err == nil {
+		t.Fatal("oversized sensor name accepted")
+	}
+}
+
+func TestTypedCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.gtsf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]int64, 50)
+	vals := make([]int64, 50)
+	for i := range times {
+		times[i] = int64(i)
+		vals[i] = int64(i * 3)
+	}
+	if err := WriteTypedChunk(w, "s", times, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(t, path)
+	raw[25] ^= 0x55
+	writeAll(t, path, raw)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, _, err := r.ReadTypedChunk(r.Index()[0]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("typed corruption not detected: %v", err)
+	}
+}
+
+func TestValueTypeString(t *testing.T) {
+	if TypeDouble.String() != "DOUBLE" || TypeText.String() != "TEXT" || ValueType(9).String() == "" {
+		t.Fatal("ValueType.String wrong")
+	}
+}
+
+// readAll / writeAll are tiny test helpers.
+func readAll(t *testing.T, path string) ([]byte, error) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, nil
+}
+
+func writeAll(t *testing.T, path string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

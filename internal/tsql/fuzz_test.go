@@ -1,0 +1,52 @@
+package tsql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseSurvivesRandomInput: the parser must reject or accept, but
+// never panic, on arbitrary token soup.
+func TestParseSurvivesRandomInput(t *testing.T) {
+	vocab := []string{
+		"SELECT", "INSERT", "INTO", "FROM", "WHERE", "AND", "GROUP", "BY",
+		"WINDOW", "VALUES", "LIMIT", "time", "value", "avg", "*", "(",
+		")", ",", "=", "<", ">", "<=", ">=", "s1", "-5", "42", "3.14",
+		"9223372036854775807", ";", "FLUSH", "STATS",
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := r.Intn(12)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[r.Intn(len(vocab))]
+		}
+		input := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", input, p)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestParseSurvivesRandomBytes: raw byte garbage, not just token soup.
+func TestParseSurvivesRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		raw := make([]byte, r.Intn(40))
+		r.Read(raw)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %x: %v", raw, p)
+				}
+			}()
+			_, _ = Parse(string(raw))
+		}()
+	}
+}

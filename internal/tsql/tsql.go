@@ -1,0 +1,393 @@
+// Package tsql implements the tiny SQL-ish query language of the
+// cmd/tsql shell — enough surface to drive the storage engine the way
+// the paper's experiments do (IoTDB is operated through SQL, and the
+// benchmark's query is literally "SELECT * FROM data WHERE time >
+// current - window"):
+//
+//	INSERT INTO <sensor> VALUES (t, v) [, (t, v)]...
+//	SELECT * FROM <sensor> [WHERE time >= a AND time <= b] [LIMIT n]
+//	SELECT avg|sum|min|max|count|first|last(value) FROM <sensor>
+//	       [WHERE ...] GROUP BY WINDOW(w)
+//	FLUSH | COMPACT | STATS
+//
+// Statements parse into a Statement tree and execute against an
+// engine.Engine; parsing and execution are separate so both are
+// testable.
+package tsql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Statement is a parsed statement.
+type Statement struct {
+	Kind   Kind
+	Sensor string
+	// Insert rows.
+	Times  []int64
+	Values []float64
+	// Select bounds (inclusive), defaulting to the full range.
+	MinTime int64
+	MaxTime int64
+	Limit   int // 0 = unlimited
+	// Aggregation.
+	Agg    query.Aggregator
+	HasAgg bool
+	Window int64
+}
+
+// Kind discriminates statements.
+type Kind int
+
+// Statement kinds.
+const (
+	KindSelect Kind = iota
+	KindInsert
+	KindFlush
+	KindCompact
+	KindStats
+)
+
+// tokenizer: statements are short, so a simple splitter suffices.
+func tokenize(s string) []string {
+	s = strings.NewReplacer("(", " ( ", ")", " ) ", ",", " , ", "=", " = ", "<", " < ", ">", " > ", "*", " * ").Replace(s)
+	// Re-join the two-char comparators split above.
+	fields := strings.Fields(s)
+	var out []string
+	for i := 0; i < len(fields); i++ {
+		if (fields[i] == "<" || fields[i] == ">") && i+1 < len(fields) && fields[i+1] == "=" {
+			out = append(out, fields[i]+"=")
+			i++
+			continue
+		}
+		out = append(out, fields[i])
+	}
+	return out
+}
+
+// parser walks the token slice.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return strings.ToUpper(p.toks[p.pos])
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) raw() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("tsql: expected %s, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) int64() (int64, error) {
+	raw := p.raw()
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tsql: expected integer, got %q", raw)
+	}
+	return v, nil
+}
+
+func (p *parser) float64() (float64, error) {
+	raw := p.raw()
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tsql: expected number, got %q", raw)
+	}
+	return v, nil
+}
+
+// Parse parses one statement.
+func Parse(input string) (*Statement, error) {
+	p := &parser{toks: tokenize(strings.TrimSuffix(strings.TrimSpace(input), ";"))}
+	switch p.next() {
+	case "INSERT":
+		return p.parseInsert()
+	case "SELECT":
+		return p.parseSelect()
+	case "FLUSH":
+		return &Statement{Kind: KindFlush}, nil
+	case "COMPACT":
+		return &Statement{Kind: KindCompact}, nil
+	case "STATS":
+		return &Statement{Kind: KindStats}, nil
+	case "":
+		return nil, fmt.Errorf("tsql: empty statement")
+	default:
+		return nil, fmt.Errorf("tsql: unknown statement %q", p.toks[0])
+	}
+}
+
+func (p *parser) parseInsert() (*Statement, error) {
+	st := &Statement{Kind: KindInsert}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	st.Sensor = p.raw()
+	if st.Sensor == "" {
+		return nil, fmt.Errorf("tsql: missing sensor name")
+	}
+	if err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		t, err := p.int64()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		v, err := p.float64()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Times = append(st.Times, t)
+		st.Values = append(st.Values, v)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("tsql: trailing tokens after INSERT")
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	st := &Statement{Kind: KindSelect, MinTime: math.MinInt64, MaxTime: math.MaxInt64}
+	switch p.peek() {
+	case "*":
+		p.next()
+	case "AVG", "SUM", "MIN", "MAX", "COUNT", "FIRST", "LAST":
+		name := p.next()
+		st.HasAgg = true
+		st.Agg = map[string]query.Aggregator{
+			"AVG": query.Avg, "SUM": query.Sum, "MIN": query.Min, "MAX": query.Max,
+			"COUNT": query.Count, "FIRST": query.First, "LAST": query.Last,
+		}[name]
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if got := p.next(); got != "VALUE" {
+			return nil, fmt.Errorf("tsql: aggregations take value, got %q", got)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("tsql: SELECT needs * or an aggregation, got %q", p.peek())
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	st.Sensor = p.raw()
+	if st.Sensor == "" {
+		return nil, fmt.Errorf("tsql: missing sensor name")
+	}
+	for {
+		switch p.peek() {
+		case "":
+			return p.finishSelect(st)
+		case "WHERE", "AND":
+			p.next()
+			if err := p.parseTimePredicate(st); err != nil {
+				return nil, err
+			}
+		case "GROUP":
+			p.next()
+			if err := p.expect("BY"); err != nil {
+				return nil, err
+			}
+			if got := p.next(); got != "WINDOW" {
+				return nil, fmt.Errorf("tsql: GROUP BY supports WINDOW(w), got %q", got)
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			w, err := p.int64()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			st.Window = w
+		case "LIMIT":
+			p.next()
+			n, err := p.int64()
+			if err != nil {
+				return nil, err
+			}
+			st.Limit = int(n)
+		default:
+			return nil, fmt.Errorf("tsql: unexpected token %q", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseTimePredicate(st *Statement) error {
+	if got := p.next(); got != "TIME" {
+		return fmt.Errorf("tsql: predicates are on time, got %q", got)
+	}
+	op := p.next()
+	v, err := p.int64()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case ">":
+		st.MinTime = v + 1
+	case ">=":
+		st.MinTime = v
+	case "<":
+		st.MaxTime = v - 1
+	case "<=":
+		st.MaxTime = v
+	case "=":
+		st.MinTime, st.MaxTime = v, v
+	default:
+		return fmt.Errorf("tsql: unsupported comparator %q", op)
+	}
+	return nil
+}
+
+func (p *parser) finishSelect(st *Statement) (*Statement, error) {
+	if st.HasAgg && st.Window <= 0 {
+		return nil, fmt.Errorf("tsql: aggregations need GROUP BY WINDOW(w)")
+	}
+	if !st.HasAgg && st.Window > 0 {
+		return nil, fmt.Errorf("tsql: GROUP BY WINDOW needs an aggregation")
+	}
+	return st, nil
+}
+
+// Result is a statement's tabular output.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Message string // for statements without rows
+}
+
+// Execute runs a parsed statement against the engine.
+func Execute(e *engine.Engine, st *Statement) (*Result, error) {
+	switch st.Kind {
+	case KindInsert:
+		if err := e.InsertBatch(st.Sensor, st.Times, st.Values); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("inserted %d points", len(st.Times))}, nil
+
+	case KindFlush:
+		e.Flush()
+		return &Result{Message: "flushed"}, nil
+
+	case KindCompact:
+		if err := e.Compact(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("compacted to %d file(s)", e.FileCount())}, nil
+
+	case KindStats:
+		s := e.Stats()
+		return &Result{
+			Columns: []string{"flushes", "avg_flush_ms", "avg_sort_ms", "seq_points", "unseq_points", "files", "memtable_points"},
+			Rows: [][]string{{
+				strconv.Itoa(s.FlushCount),
+				fmt.Sprintf("%.3f", s.AvgFlushMillis),
+				fmt.Sprintf("%.3f", s.AvgSortMillis),
+				strconv.FormatInt(s.SeqPoints, 10),
+				strconv.FormatInt(s.UnseqPoints, 10),
+				strconv.Itoa(s.Files),
+				strconv.Itoa(s.MemTablePoints),
+			}},
+		}, nil
+
+	case KindSelect:
+		if st.HasAgg {
+			// WindowQuery's end bound is exclusive.
+			endT := st.MaxTime
+			if endT != math.MaxInt64 {
+				endT++
+			}
+			startT := st.MinTime
+			if startT == math.MinInt64 {
+				startT = 0
+			}
+			wins, err := query.WindowQuery(e, st.Sensor, startT, endT, st.Window, st.Agg)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Columns: []string{"window_start", st.Agg.String() + "(value)", "count"}}
+			for _, w := range wins {
+				res.Rows = append(res.Rows, []string{
+					strconv.FormatInt(w.Start, 10),
+					strconv.FormatFloat(w.Value, 'g', -1, 64),
+					strconv.Itoa(w.Count),
+				})
+			}
+			return res, nil
+		}
+		out, err := e.Query(st.Sensor, st.MinTime, st.MaxTime)
+		if err != nil {
+			return nil, err
+		}
+		if st.Limit > 0 && len(out) > st.Limit {
+			out = out[:st.Limit]
+		}
+		res := &Result{Columns: []string{"time", "value"}}
+		for _, tv := range out {
+			res.Rows = append(res.Rows, []string{
+				strconv.FormatInt(tv.T, 10),
+				strconv.FormatFloat(tv.V, 'g', -1, 64),
+			})
+		}
+		return res, nil
+
+	default:
+		return nil, fmt.Errorf("tsql: unknown statement kind %d", st.Kind)
+	}
+}
+
+// Run parses and executes one statement.
+func Run(e *engine.Engine, input string) (*Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(e, st)
+}

@@ -1,0 +1,88 @@
+package tvlist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestScratchAcrossArrayBoundaries(t *testing.T) {
+	// Save/Restore must be index-exact even when records sit at the
+	// very edges of backing arrays.
+	l := NewWithArrayLen[int](3)
+	for i := 0; i < 10; i++ {
+		l.Put(int64(i), i*7)
+	}
+	l.EnsureScratch(4)
+	for _, idx := range []int{0, 2, 3, 5, 6, 8, 9} {
+		l.Save(idx, 1)
+		l.Restore(1, 0)
+		if tt, v := l.Get(0); tt != int64(idx) || v != idx*7 {
+			t.Fatalf("save/restore via slot mangled record %d: (%d,%d)", idx, tt, v)
+		}
+	}
+}
+
+func TestScanRangeEmptyAndMisses(t *testing.T) {
+	l := NewDouble()
+	called := false
+	l.ScanRange(0, 100, func(int64, float64) bool { called = true; return true })
+	if called {
+		t.Fatal("ScanRange on empty list invoked callback")
+	}
+	l.Put(50, 1)
+	l.ScanRange(60, 100, func(int64, float64) bool { called = true; return true })
+	if called {
+		t.Fatal("ScanRange out of range invoked callback")
+	}
+	// Inverted range yields nothing.
+	l.ScanRange(100, 0, func(int64, float64) bool { called = true; return true })
+	if called {
+		t.Fatal("inverted ScanRange invoked callback")
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	l := NewDouble()
+	c := l.Clone()
+	if c.Len() != 0 || !c.Sorted() {
+		t.Fatal("empty clone wrong")
+	}
+	c.Put(1, 1)
+	if l.Len() != 0 {
+		t.Fatal("clone shares state with parent")
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		l := NewDouble()
+		for i := 0; i < n; i++ {
+			l.Put(int64(i), 0)
+		}
+		l.Sort(func(s core.Sortable) { core.BackwardSort(s, core.Options{}) })
+		if !l.Sorted() {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+	}
+}
+
+func TestPutAfterSortAtBoundary(t *testing.T) {
+	// Fill exactly one array, sort, then keep appending: the new
+	// array allocation path must preserve the records.
+	l := NewWithArrayLen[int](4)
+	for _, tt := range []int64{4, 2, 3, 1} {
+		l.Put(tt, int(tt))
+	}
+	l.Sort(func(s core.Sortable) { core.BackwardSort(s, core.Options{}) })
+	l.Put(0, 0) // unsorted again, lands in a fresh array
+	if l.Sorted() {
+		t.Fatal("sorted flag wrong")
+	}
+	l.Sort(func(s core.Sortable) { core.BackwardSort(s, core.Options{}) })
+	for i := 0; i < 5; i++ {
+		if tt, v := l.Get(i); tt != int64(i) || v != i {
+			t.Fatalf("record %d = (%d,%d)", i, tt, v)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package wal implements the storage engine's write-ahead log.
+// Apache IoTDB logs every write before acknowledging it so that
+// memtable contents survive a crash; this package provides the same
+// guarantee for the reproduction's engine. Each memtable generation
+// gets its own segment file; once that generation is flushed to a
+// chunk file the segment is deleted.
+//
+// Segment format: a sequence of length-prefixed records,
+//
+//	uint32 payloadLen | payload | uint32 CRC-32(payload)
+//
+// where payload = sensor string + TS2Diff times + plain float64
+// values (one record per ingested batch). Replay stops at the first
+// torn or corrupt record — everything before it is intact, everything
+// after it was never acknowledged.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/encoding"
+)
+
+// Segment is an open, appendable WAL segment.
+type Segment struct {
+	f    *os.File
+	path string
+}
+
+// maxRecord bounds one WAL record (same spirit as rpc.MaxFrame).
+const maxRecord = 64 << 20
+
+// Create opens a fresh segment at path, truncating any previous file.
+func Create(path string) (*Segment, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{f: f, path: path}, nil
+}
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// Append logs one batch. The write goes straight to the OS so a
+// process crash (not machine crash) loses nothing; call Sync for
+// machine-crash durability.
+func (s *Segment) Append(sensor string, times []int64, values []float64) error {
+	if len(times) != len(values) {
+		return fmt.Errorf("wal: batch shape mismatch: %d times, %d values", len(times), len(values))
+	}
+	payload := binary.AppendUvarint(nil, uint64(len(sensor)))
+	payload = append(payload, sensor...)
+	payload = encoding.AppendTS2Diff(payload, times)
+	payload = encoding.AppendPlainFloat64(payload, values)
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record too large: %d bytes", len(payload))
+	}
+	rec := make([]byte, 4, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	rec = append(rec, crc[:]...)
+	_, err := s.f.Write(rec)
+	return err
+}
+
+// Sync forces the segment to stable storage.
+func (s *Segment) Sync() error { return s.f.Sync() }
+
+// Close closes the segment file (without deleting it).
+func (s *Segment) Close() error { return s.f.Close() }
+
+// Remove closes and deletes the segment — called once its memtable
+// generation is safely flushed.
+func (s *Segment) Remove() error {
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(s.path)
+}
+
+// Batch is one replayed WAL record.
+type Batch struct {
+	Sensor string
+	Times  []int64
+	Values []float64
+}
+
+// Replay reads a segment file and invokes fn for each intact batch in
+// append order. A torn tail (partial final record, e.g. from a crash
+// mid-write) ends the replay silently; a corrupt CRC mid-file is
+// reported as an error because it means data loss of acknowledged
+// writes.
+func Replay(path string, fn func(Batch) error) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for pos < len(raw) {
+		if len(raw)-pos < 4 {
+			return nil // torn tail
+		}
+		plen := int(binary.LittleEndian.Uint32(raw[pos:]))
+		if plen <= 0 || plen > maxRecord {
+			return fmt.Errorf("wal: %s: invalid record length %d at offset %d", path, plen, pos)
+		}
+		if len(raw)-pos < 4+plen+4 {
+			return nil // torn tail
+		}
+		payload := raw[pos+4 : pos+4+plen]
+		want := binary.LittleEndian.Uint32(raw[pos+4+plen:])
+		if crc32.ChecksumIEEE(payload) != want {
+			if pos+4+plen+4 == len(raw) {
+				return nil // torn final record
+			}
+			return fmt.Errorf("wal: %s: CRC mismatch at offset %d", path, pos)
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("wal: %s: offset %d: %w", path, pos, err)
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+		pos += 4 + plen + 4
+	}
+	return nil
+}
+
+func decodeBatch(payload []byte) (Batch, error) {
+	var b Batch
+	nameLen, read := binary.Uvarint(payload)
+	if read <= 0 || uint64(len(payload)-read) < nameLen {
+		return b, errors.New("wal: bad sensor name")
+	}
+	b.Sensor = string(payload[read : read+int(nameLen)])
+	pos := read + int(nameLen)
+	times, consumed, err := encoding.DecodeTS2Diff(payload[pos:])
+	if err != nil {
+		return b, err
+	}
+	pos += consumed
+	values, consumed, err := encoding.DecodePlainFloat64(payload[pos:])
+	if err != nil {
+		return b, err
+	}
+	pos += consumed
+	if pos != len(payload) {
+		return b, fmt.Errorf("wal: %d trailing bytes", len(payload)-pos)
+	}
+	if len(times) != len(values) {
+		return b, errors.New("wal: times/values mismatch")
+	}
+	b.Times = times
+	b.Values = values
+	return b, nil
+}
+
+// Segments lists the WAL segment files under dir in creation order
+// (they are named wal-<seq>.log).
+func Segments(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", []int64{1, 2, 3}, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("b", []int64{5}, []float64{-5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Batch
+	if err := Replay(path, func(b Batch) error { got = append(got, b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Sensor != "a" || got[1].Sensor != "b" {
+		t.Fatalf("replayed %+v", got)
+	}
+	if got[0].Times[2] != 3 || got[0].Values[2] != 30 || got[1].Values[0] != -5 {
+		t.Fatalf("replayed %+v", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "wal-000000001.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append("a", []int64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	s.Append("b", []int64{2}, []float64{2})
+	s.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the second record: the first must survive,
+	// the torn tail must be ignored without error.
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []Batch
+	if err := Replay(path, func(b Batch) error { got = append(got, b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Sensor != "a" {
+		t.Fatalf("torn replay got %+v", got)
+	}
+}
+
+func TestReplayMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	s.Append("b", []int64{2}, []float64{2})
+	s.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[6] ^= 0xFF // inside the first record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(Batch) error { return nil }); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("segment not removed")
+	}
+}
+
+func TestSegmentsOrdering(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"wal-000000002.log", "wal-000000010.log", "wal-000000001.log"} {
+		if err := os.WriteFile(filepath.Join(dir, n), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-WAL file must be ignored.
+	os.WriteFile(filepath.Join(dir, "seq-000001.gtsf"), nil, 0o644)
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || filepath.Base(segs[0]) != "wal-000000001.log" || filepath.Base(segs[2]) != "wal-000000010.log" {
+		t.Fatalf("segments = %v", segs)
+	}
+}
+
+func TestAppendEmptyBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	count := 0
+	if err := Replay(path, func(b Batch) error {
+		count++
+		if b.Sensor != "a" || len(b.Times) != 0 {
+			t.Fatalf("empty batch mangled: %+v", b)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("replayed %d batches", count)
+	}
+}
+
+func TestReplayCallbackErrorStops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	s.Append("b", []int64{2}, []float64{2})
+	s.Close()
+	calls := 0
+	sentinel := os.ErrClosed
+	err = Replay(path, func(Batch) error { calls++; return sentinel })
+	if err != sentinel || calls != 1 {
+		t.Fatalf("callback error not propagated: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestSyncAndPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000007.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Path() != path {
+		t.Fatalf("Path = %q", s.Path())
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayEmptySegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := Replay(path, func(Batch) error { t.Fatal("callback on empty"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
