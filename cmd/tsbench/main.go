@@ -43,6 +43,8 @@ func main() {
 	devices := flag.Int("devices", 4, "simulated devices")
 	sensorsPerDevice := flag.Int("sensors-per-device", 1, "sensors (memtable chunks) per device")
 	memtable := flag.Int("memtable", 100000, "memtable flush threshold (points)")
+	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size for the in-process engine (0 = GOMAXPROCS)")
+	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
 	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
 	flag.Parse()
@@ -59,6 +61,7 @@ func main() {
 		mu: *mu, sigma: *sigma, writePct: *writePct,
 		ops: *ops, batch: *batch, clients: *clients, memtable: *memtable,
 		devices: *devices, sensorsPerDevice: *sensorsPerDevice,
+		flushWorkers: *flushWorkers, legacyLocking: *legacyLocking,
 	}
 	if err := runCell(cell); err != nil {
 		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -72,6 +75,8 @@ type cellConfig struct {
 	mu, sigma, writePct           float64
 	ops, batch, clients, memtable int
 	devices, sensorsPerDevice     int
+	flushWorkers                  int
+	legacyLocking                 bool
 }
 
 func runFigure(fig, scale string) error {
@@ -135,7 +140,10 @@ func runCell(cc cellConfig) error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		eng, err := engine.Open(engine.Config{Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo})
+		eng, err := engine.Open(engine.Config{
+			Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
+			FlushWorkers: cc.flushWorkers, LegacyLockedQueries: cc.legacyLocking,
+		})
 		if err != nil {
 			return err
 		}
@@ -163,7 +171,10 @@ func runCell(cc cellConfig) error {
 	fmt.Printf("  points: %d written, %d queried\n", res.PointsWritten, res.PointsQueried)
 	fmt.Printf("  query throughput: %.0f points/s (avg query %.3f ms, p50 %.3f, p95 %.3f, p99 %.3f)\n",
 		res.QueryThroughput, res.AvgQueryMillis, res.P50QueryMillis, res.P95QueryMillis, res.P99QueryMillis)
-	fmt.Printf("  flushes: %d, avg flush %.3f ms (sorting %.3f ms)\n", res.FlushCount, res.AvgFlushMs, res.AvgSortMs)
+	fmt.Printf("  flushes: %d, avg flush %.3f ms (sorting %.3f ms, encoding %.3f ms, writing %.3f ms; %d workers)\n",
+		res.FlushCount, res.AvgFlushMs, res.AvgSortMs, res.AvgEncodeMs, res.AvgWriteMs, res.FlushWorkers)
+	fmt.Printf("  engine lock: %d contended acquisitions (avg %.1f µs, p99 ≤ %.0f µs), %d queries blocked, %d sorts skipped\n",
+		res.LockWaits, res.AvgLockWaitMicros, res.P99LockWaitMicros, res.QueriesBlocked, res.SortsSkipped)
 	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
 	fmt.Printf("  total test latency: %v\n", res.TotalLatency)
 	return nil

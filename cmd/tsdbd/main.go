@@ -23,6 +23,8 @@ func main() {
 	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points)")
 	arrayLen := flag.Int("arraylen", 32, "TVList array length")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
+	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size (0 = GOMAXPROCS)")
+	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -30,11 +32,13 @@ func main() {
 		os.Exit(2)
 	}
 	eng, err := engine.Open(engine.Config{
-		Dir:          *dir,
-		MemTableSize: *memtable,
-		ArrayLen:     *arrayLen,
-		Algorithm:    *algo,
-		WAL:          *walOn,
+		Dir:                 *dir,
+		MemTableSize:        *memtable,
+		ArrayLen:            *arrayLen,
+		Algorithm:           *algo,
+		WAL:                 *walOn,
+		FlushWorkers:        *flushWorkers,
+		LegacyLockedQueries: *legacyLocking,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)

@@ -158,6 +158,15 @@ type Result struct {
 	AvgSortMs   float64
 	SeqPoints   int64
 	UnseqPoints int64
+	// Server-side flush pipeline and lock contention metrics.
+	FlushWorkers      int
+	AvgEncodeMs       float64
+	AvgWriteMs        float64
+	SortsSkipped      int64
+	LockWaits         int64
+	AvgLockWaitMicros float64
+	P99LockWaitMicros float64
+	QueriesBlocked    int64
 }
 
 // deviceStream hands out successive batches of one device's
@@ -348,5 +357,13 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.AvgSortMs = st.AvgSortMillis
 	res.SeqPoints = st.SeqPoints
 	res.UnseqPoints = st.UnseqPoints
+	res.FlushWorkers = st.FlushWorkers
+	res.AvgEncodeMs = st.AvgEncodeMillis
+	res.AvgWriteMs = st.AvgWriteMillis
+	res.SortsSkipped = st.SortsSkipped
+	res.LockWaits = st.LockWaits
+	res.AvgLockWaitMicros = st.AvgLockWaitMicros
+	res.P99LockWaitMicros = st.P99LockWaitMicros
+	res.QueriesBlocked = st.QueriesBlocked
 	return res, nil
 }

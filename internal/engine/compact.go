@@ -15,12 +15,33 @@ import (
 // study "Separation or Not", ICDE 2022): out-of-order data parked in
 // unsequence files is eventually folded back so reads stop paying a
 // merge penalty. Queries remain correct throughout; newest-wins
-// semantics for rewritten timestamps are preserved.
+// semantics for rewritten timestamps are preserved, and queries that
+// snapshotted the old files keep reading them through their reference
+// counts even after the files are unlinked.
 func (e *Engine) Compact() error {
+	// One compaction at a time: concurrent Compacts would race to
+	// retire the same handles.
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: closed")
+	}
 	old := append([]*fileHandle(nil), e.files...)
+	// Pin the inputs for the read phase, which runs outside e.mu.
+	for _, fh := range old {
+		fh.acquire()
+	}
 	e.mu.Unlock()
+	releaseOld := func() {
+		for _, fh := range old {
+			fh.release()
+		}
+	}
 	if len(old) < 2 {
+		releaseOld()
 		return nil // nothing to fold
 	}
 
@@ -37,6 +58,7 @@ func (e *Engine) Compact() error {
 		for _, m := range fh.index {
 			ts, vs, err := fh.reader.ReadChunk(m)
 			if err != nil {
+				releaseOld()
 				return fmt.Errorf("engine: compact read %s: %w", fh.path, err)
 			}
 			for i := range ts {
@@ -52,6 +74,7 @@ func (e *Engine) Compact() error {
 	path := filepath.Join(e.cfg.Dir, fmt.Sprintf("seq-%06d.gtsf", seq))
 	w, err := tsfile.Create(path)
 	if err != nil {
+		releaseOld()
 		return err
 	}
 	sensors := make([]string, 0, len(perSensor))
@@ -80,17 +103,22 @@ func (e *Engine) Compact() error {
 		if err := w.WriteChunk(sensor, ts, vs); err != nil {
 			w.Close()
 			os.Remove(path)
+			releaseOld()
 			return fmt.Errorf("engine: compact write: %w", err)
 		}
 	}
 	if err := w.Close(); err != nil {
+		os.Remove(path)
+		releaseOld()
 		return err
 	}
 	r, err := tsfile.Open(path)
 	if err != nil {
+		os.Remove(path)
+		releaseOld()
 		return err
 	}
-	newHandle := &fileHandle{path: path, reader: r, index: r.Index()}
+	newHandle := newFileHandle(path, r, false)
 
 	// Swap: replace the compacted inputs with the new file, keeping
 	// any files a concurrent flush published in the meantime.
@@ -99,6 +127,15 @@ func (e *Engine) Compact() error {
 		compacted[fh] = true
 	}
 	e.mu.Lock()
+	if e.closed {
+		// The engine shut down mid-compaction. Leave the old files —
+		// they are still the durable truth — and drop the new one.
+		e.mu.Unlock()
+		newHandle.release()
+		os.Remove(path)
+		releaseOld()
+		return fmt.Errorf("engine: closed")
+	}
 	kept := []*fileHandle{newHandle}
 	for _, fh := range e.files {
 		if !compacted[fh] {
@@ -110,7 +147,12 @@ func (e *Engine) Compact() error {
 
 	var firstErr error
 	for _, fh := range old {
-		if err := fh.reader.Close(); err != nil && firstErr == nil {
+		fh.release() // the read-phase pin
+		// Drop the files-list reference the swap removed; in-flight
+		// queries holding their own references keep the reader open
+		// (and, on POSIX, the unlinked file readable) until they
+		// finish.
+		if err := fh.release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if err := os.Remove(fh.path); err != nil && firstErr == nil {

@@ -9,21 +9,26 @@
 //     not-too-distant future (Section II);
 //   - when the memtable is full it becomes immutable (*flushing*) and
 //     is drained asynchronously: each TVList is sorted with the
-//     configured algorithm, then encoded and written to a TsFile-like
-//     chunk file — the flush-time metric of Figures 16–18 measures
-//     exactly this state-transition-to-disk window;
-//   - queries take the engine lock (blocking writes, as in IoTDB,
-//     Section VI-D1), sort the working TVLists they touch, and merge
-//     memtable data with flushed files.
+//     configured algorithm and encoded on a bounded worker pool, then
+//     written to a TsFile-like chunk file in deterministic sensor
+//     order — the flush-time metric of Figures 16–18 measures exactly
+//     this state-transition-to-disk window;
+//   - queries snapshot the engine state under the engine lock and do
+//     their sorting outside it. IoTDB's original query-blocks-writes
+//     behavior (Section VI-D1, the contention of Figures 13–15) is
+//     preserved behind Config.LegacyLockedQueries for the paper
+//     reproduction.
 package engine
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -53,6 +58,17 @@ type Config struct {
 	// SyncFlush makes flushes run inline on the triggering Insert,
 	// for deterministic tests. Production-style async is the default.
 	SyncFlush bool
+	// FlushWorkers bounds the worker pool that sorts and encodes
+	// sensor chunks during a flush (default GOMAXPROCS). 1 keeps the
+	// drain fully sequential, as the original IoTDB-style pipeline
+	// was.
+	FlushWorkers int
+	// LegacyLockedQueries restores IoTDB's query-blocks-writes
+	// behavior: queries sort the live working TVLists in place while
+	// holding the engine lock. Off by default — queries snapshot under
+	// the lock and sort outside it. cmd/repro turns it on so Figures
+	// 13–15 keep measuring the contention the paper describes.
+	LegacyLockedQueries bool
 	// WAL enables the write-ahead log: every batch is logged before
 	// it is acknowledged, and unflushed memtable contents are
 	// replayed (and immediately flushed) on Open. Off by default —
@@ -66,15 +82,31 @@ type TV struct {
 	V float64
 }
 
-// Stats is a snapshot of engine-side metrics.
+// Stats is a snapshot of engine-side metrics. The write-side counters
+// and the flush timings come from one coherent two-lock snapshot; the
+// lock-wait numbers are lock-free counters read at the same moment.
 type Stats struct {
 	FlushCount     int
 	AvgFlushMillis float64 // mean wall time: state transition → file on disk
-	AvgSortMillis  float64 // mean sorting component of flushes
-	SeqPoints      int64   // points ingested via the sequence path
-	UnseqPoints    int64   // points diverted by the separation policy
-	Files          int
-	MemTablePoints int
+	// AvgSortMillis is the mean summed chunk-sorting time per flush.
+	// With FlushWorkers > 1 sorts run concurrently, so this is CPU
+	// time and can exceed the flush wall time.
+	AvgSortMillis   float64
+	AvgEncodeMillis float64 // mean summed chunk-encoding (columnar codec + CRC) time per flush
+	AvgWriteMillis  float64 // mean file write+close+reopen wall time per flush
+	SeqPoints       int64   // points ingested via the sequence path
+	UnseqPoints     int64   // points diverted by the separation policy
+	Files           int
+	MemTablePoints  int
+	FlushWorkers    int   // resolved worker-pool size
+	SortsSkipped    int64 // TVList sorts avoided via the sorted flag
+	// Engine-lock contention, recorded only when an acquisition had to
+	// wait (the uncontended fast path is not counted).
+	LockWaits         int64
+	AvgLockWaitMicros float64
+	MaxLockWaitMicros float64
+	P99LockWaitMicros float64
+	QueriesBlocked    int64 // queries that waited on the engine lock
 }
 
 // Engine is the storage engine. All methods are safe for concurrent
@@ -82,9 +114,13 @@ type Stats struct {
 type Engine struct {
 	cfg  Config
 	algo sortalgo.Func
+	pool *flushPool
 
-	// mu is the engine lock. As in IoTDB, queries hold it while they
-	// sort and scan memtables, blocking writers.
+	// mu is the engine lock. It guards the mutable engine state: the
+	// working memtables, the flushing list, the files list, the
+	// watermarks and the sequence counters. Unless
+	// Config.LegacyLockedQueries is set, queries hold it only long
+	// enough to snapshot — never across a sort.
 	mu          sync.Mutex
 	working     *memtable.MemTable // sequence writes
 	workingUn   *memtable.MemTable // unsequence writes (separation policy)
@@ -97,33 +133,69 @@ type Engine struct {
 	walSeg      *wal.Segment // active segment covering the working memtables
 	closed      bool
 
-	flushWG sync.WaitGroup
+	flushWG   sync.WaitGroup
+	compactMu sync.Mutex // serializes Compact calls
 
 	statsMu     sync.Mutex
 	flushTotal  time.Duration
 	sortTotal   time.Duration
+	encodeTotal time.Duration
+	writeTotal  time.Duration
 	flushCount  int
 	seqPoints   int64
 	unseqPoints int64
 	flushErr    error // first background flush failure, surfaced on Query/Close
+
+	lockHist       lockWaitHist
+	queriesBlocked atomic.Int64
+	sortsSkipped   atomic.Int64
 }
 
-// flushUnit is one immutable memtable pair being drained. Its mutex
-// serializes the drain's in-place sorting against concurrent queries.
+// flushUnit is one immutable memtable pair being drained. Its chunks
+// are sorted in place by drain workers and by queries; chunkLocks
+// serializes those sorts per chunk (the map is built at rotation and
+// read-only afterwards, so lookups need no extra locking).
 type flushUnit struct {
-	mu      sync.Mutex
-	seq     *memtable.MemTable
-	unseq   *memtable.MemTable
-	walSeg  *wal.Segment // segment covering this generation, if WAL is on
-	started time.Time
+	seq        *memtable.MemTable
+	unseq      *memtable.MemTable
+	walSeg     *wal.Segment // segment covering this generation, if WAL is on
+	started    time.Time
+	chunkLocks map[*tvlist.TVList[float64]]*sync.Mutex
 }
 
-// fileHandle is one flushed file with its cached chunk index.
+func (u *flushUnit) lockChunk(c *tvlist.TVList[float64]) *sync.Mutex {
+	return u.chunkLocks[c]
+}
+
+// fileHandle is one flushed file with its cached chunk index. Handles
+// are reference-counted: the engine's files list holds one reference
+// and every query that snapshots the list takes another for the
+// duration of its reads, so retiring a file (Close, compaction)
+// cannot close a reader out from under a query that released the
+// engine lock.
 type fileHandle struct {
 	path   string
 	reader *tsfile.Reader
 	index  []tsfile.ChunkMeta
 	unseq  bool
+	refs   atomic.Int64
+}
+
+func newFileHandle(path string, r *tsfile.Reader, unseq bool) *fileHandle {
+	h := &fileHandle{path: path, reader: r, index: r.Index(), unseq: unseq}
+	h.refs.Store(1)
+	return h
+}
+
+func (h *fileHandle) acquire() { h.refs.Add(1) }
+
+// release drops one reference, closing the reader when the last one
+// goes.
+func (h *fileHandle) release() error {
+	if h.refs.Add(-1) == 0 {
+		return h.reader.Close()
+	}
+	return nil
 }
 
 // Open creates or opens an engine over cfg.Dir. Flushed files from a
@@ -149,14 +221,25 @@ func Open(cfg Config) (*Engine, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	workers := cfg.FlushWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
 		cfg:         cfg,
 		algo:        algo,
+		pool:        newFlushPool(workers),
 		working:     memtable.New(cfg.ArrayLen),
 		workingUn:   memtable.New(cfg.ArrayLen),
 		lastFlushed: make(map[string]int64),
 		latest:      make(map[string]int64),
 	}
+	opened := false
+	defer func() {
+		if !opened {
+			e.pool.close()
+		}
+	}()
 	if err := e.recover(); err != nil {
 		return nil, err
 	}
@@ -172,6 +255,7 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	opened = true
 	return e, nil
 }
 
@@ -270,9 +354,9 @@ func (e *Engine) recover() error {
 		if err != nil {
 			return fmt.Errorf("engine: recover %s: %w", name, err)
 		}
-		idx := r.Index()
-		e.files = append(e.files, &fileHandle{path: path, reader: r, index: idx, unseq: unseq})
-		for _, m := range idx {
+		fh := newFileHandle(path, r, unseq)
+		e.files = append(e.files, fh)
+		for _, m := range fh.index {
 			if !unseq && m.MaxTime > e.lastFlushed[m.Sensor] {
 				e.lastFlushed[m.Sensor] = m.MaxTime
 			}
@@ -303,7 +387,7 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 	if len(times) != len(values) {
 		return fmt.Errorf("engine: batch shape mismatch: %d times, %d values", len(times), len(values))
 	}
-	e.mu.Lock()
+	e.lockContended(false)
 	if e.closed {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: closed")
@@ -331,6 +415,12 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 	var unit *flushUnit
 	if e.working.Points()+e.workingUn.Points() >= e.cfg.MemTableSize {
 		unit = e.rotateLocked()
+		if unit != nil {
+			// Registered while still holding e.mu: Close marks the
+			// engine closed under the same lock, so it can never miss
+			// this drain when it waits on the group.
+			e.flushWG.Add(1)
+		}
 	}
 	e.mu.Unlock()
 
@@ -342,8 +432,8 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 	if unit != nil {
 		if e.cfg.SyncFlush {
 			e.drain(unit)
+			e.flushWG.Done()
 		} else {
-			e.flushWG.Add(1)
 			go func() {
 				defer e.flushWG.Done()
 				e.drain(unit)
@@ -359,20 +449,26 @@ func (e *Engine) rotateLocked() *flushUnit {
 	if e.working.Empty() && e.workingUn.Empty() {
 		return nil
 	}
-	unit := &flushUnit{seq: e.working, unseq: e.workingUn, started: time.Now()}
+	unit := &flushUnit{
+		seq:        e.working,
+		unseq:      e.workingUn,
+		started:    time.Now(),
+		chunkLocks: make(map[*tvlist.TVList[float64]]*sync.Mutex),
+	}
 	unit.seq.MarkFlushing()
 	unit.unseq.MarkFlushing()
+	for _, mt := range []*memtable.MemTable{unit.seq, unit.unseq} {
+		for _, s := range mt.Sensors() {
+			unit.chunkLocks[mt.Chunk(s)] = &sync.Mutex{}
+		}
+	}
 	if e.cfg.WAL {
 		unit.walSeg = e.walSeg
 		if err := e.newWALSegment(); err != nil {
 			// Writes continue unlogged; surface the problem like a
 			// flush failure rather than dropping ingestion.
 			e.walSeg = nil
-			e.statsMu.Lock()
-			if e.flushErr == nil {
-				e.flushErr = err
-			}
-			e.statsMu.Unlock()
+			e.recordFlushErr(err)
 		}
 	}
 	e.flushing = append(e.flushing, unit)
@@ -388,21 +484,35 @@ func (e *Engine) rotateLocked() *flushUnit {
 	return unit
 }
 
-// drain sorts and writes one flushing unit to disk, then publishes the
-// resulting files and retires the unit. A failure mid-drain leaves the
-// unit in the flushing list (its data stays queryable from memory) and
-// records the error for Query/Close to surface.
+// recordFlushErr stores the first background failure for Query/Close
+// to surface.
+func (e *Engine) recordFlushErr(err error) {
+	e.statsMu.Lock()
+	if e.flushErr == nil {
+		e.flushErr = err
+	}
+	e.statsMu.Unlock()
+}
+
+// drain sorts, encodes and writes one flushing unit to disk, then
+// publishes the resulting files and retires the unit. Chunk sorting
+// and encoding fan out across the engine's flush worker pool; the
+// encoded chunks are appended to the file in deterministic (sorted
+// sensor) order by this goroutine. A failure mid-drain closes and
+// removes everything the drain created — the unit stays in the
+// flushing list (its data remains queryable from memory, and no
+// partial .gtsf file is left for recover() to trip over on the next
+// Open) — and records the error for Query/Close to surface.
 func (e *Engine) drain(unit *flushUnit) {
-	unit.mu.Lock()
-	var sortDur time.Duration
+	var sortNanos, encodeNanos atomic.Int64
+	var writeDur time.Duration
 	var handles []*fileHandle
 	fail := func(err error) {
-		unit.mu.Unlock()
-		e.statsMu.Lock()
-		if e.flushErr == nil {
-			e.flushErr = err
+		for _, h := range handles {
+			h.release()
+			os.Remove(h.path)
 		}
-		e.statsMu.Unlock()
+		e.recordFlushErr(err)
 	}
 	for _, part := range []struct {
 		mt    *memtable.MemTable
@@ -417,34 +527,70 @@ func (e *Engine) drain(unit *flushUnit) {
 		seq := e.fileSeq
 		e.mu.Unlock()
 		path := filepath.Join(e.cfg.Dir, fmt.Sprintf("%s-%06d.gtsf", part.kind, seq))
+
+		sensors := part.mt.Sensors()
+		encoded := make([]*tsfile.EncodedChunk, len(sensors))
+		errs := make([]error, len(sensors))
+		jobs := make([]func(), len(sensors))
+		mt := part.mt
+		for i := range sensors {
+			i := i
+			jobs[i] = func() {
+				sensor := sensors[i]
+				chunk := mt.Chunk(sensor)
+				mu := unit.lockChunk(chunk)
+				mu.Lock()
+				t0 := time.Now()
+				e.noteSort(chunk.EnsureSorted(e.algo))
+				sortNanos.Add(int64(time.Since(t0)))
+				ts, vs := chunk.ToSlices()
+				mu.Unlock()
+				t1 := time.Now()
+				enc, err := tsfile.EncodeChunk(sensor, ts, vs)
+				encodeNanos.Add(int64(time.Since(t1)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				encoded[i] = enc
+			}
+		}
+		e.pool.do(jobs)
+		for _, err := range errs {
+			if err != nil {
+				fail(fmt.Errorf("engine: flush encode %s: %w", path, err))
+				return
+			}
+		}
+
+		t2 := time.Now()
 		w, err := tsfile.Create(path)
 		if err != nil {
 			fail(fmt.Errorf("engine: flush create %s: %w", path, err))
 			return
 		}
-		for _, sensor := range part.mt.Sensors() {
-			chunk := part.mt.Chunk(sensor)
-			t0 := time.Now()
-			chunk.Sort(e.algo)
-			sortDur += time.Since(t0)
-			ts, vs := chunk.ToSlices()
-			if err := w.WriteChunk(sensor, ts, vs); err != nil {
+		for _, enc := range encoded {
+			if err := w.AppendEncoded(enc); err != nil {
+				w.Close()
+				os.Remove(path)
 				fail(fmt.Errorf("engine: flush write %s: %w", path, err))
 				return
 			}
 		}
 		if err := w.Close(); err != nil {
+			os.Remove(path)
 			fail(fmt.Errorf("engine: flush close %s: %w", path, err))
 			return
 		}
+		writeDur += time.Since(t2)
 		r, err := tsfile.Open(path)
 		if err != nil {
+			os.Remove(path)
 			fail(fmt.Errorf("engine: flush reopen %s: %w", path, err))
 			return
 		}
-		handles = append(handles, &fileHandle{path: path, reader: r, index: r.Index(), unseq: part.unseq})
+		handles = append(handles, newFileHandle(path, r, part.unseq))
 	}
-	unit.mu.Unlock()
 	elapsed := time.Since(unit.started)
 
 	e.mu.Lock()
@@ -461,27 +607,33 @@ func (e *Engine) drain(unit *flushUnit) {
 	// longer needed.
 	if unit.walSeg != nil {
 		if err := unit.walSeg.Remove(); err != nil {
-			e.statsMu.Lock()
-			if e.flushErr == nil {
-				e.flushErr = err
-			}
-			e.statsMu.Unlock()
+			e.recordFlushErr(err)
 		}
 	}
 
 	e.statsMu.Lock()
 	e.flushCount++
 	e.flushTotal += elapsed
-	e.sortTotal += sortDur
+	e.sortTotal += time.Duration(sortNanos.Load())
+	e.encodeTotal += time.Duration(encodeNanos.Load())
+	e.writeTotal += writeDur
 	e.statsMu.Unlock()
 }
 
 // Flush forces the current working memtables to disk (synchronously).
 func (e *Engine) Flush() {
-	e.mu.Lock()
+	e.lockContended(false)
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
 	unit := e.rotateLocked()
+	if unit != nil {
+		e.flushWG.Add(1)
+	}
 	e.mu.Unlock()
 	if unit != nil {
+		defer e.flushWG.Done()
 		e.drain(unit)
 	}
 }
@@ -489,45 +641,85 @@ func (e *Engine) Flush() {
 // Query returns every record of sensor with minT <= t <= maxT, in time
 // order. When the same timestamp appears in multiple generations the
 // newest write wins (unsequence over flushed, memtable over files).
-// Like IoTDB, the query sorts the working TVList it touches: the
-// engine lock is held across that sort, blocking writers — the
-// contention Figures 13–15 measure.
+//
+// The engine lock is held only to snapshot: working chunks are copied
+// (O(points) memcpy), flushing units and file handles are captured by
+// reference — units are immutable and per-chunk mutexes serialize
+// their in-place sorts, files are pinned by reference counting. All
+// sorting happens after the lock is released, and the TVList sorted
+// flag means a chunk that was already sorted (by a drain or an earlier
+// query) is never re-sorted. Config.LegacyLockedQueries restores the
+// paper's behavior of sorting the live working TVLists under the lock,
+// blocking writers.
 func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
-	var sources [][]TV
-
 	if err := e.FlushError(); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
+	var sources [][]TV
+
+	e.lockContended(true)
 	if e.closed {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: closed")
 	}
-	// Oldest first: files, then flushing units, then working tables;
-	// within a generation, unsequence data is newer than sequence.
-	fileRefs := append([]*fileHandle(nil), e.files...)
-	unitRefs := append([]*flushUnit(nil), e.flushing...)
-	for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
-		if chunk := mt.Chunk(sensor); chunk != nil {
-			chunk.Sort(e.algo)
-			if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
-				sources = append(sources, out)
-			}
-		}
-	}
-	e.mu.Unlock()
-
-	for _, unit := range unitRefs {
-		unit.mu.Lock()
-		for _, mt := range []*memtable.MemTable{unit.unseq, unit.seq} {
+	// Sources are gathered newest generation first; within a
+	// generation, unsequence data is newer than sequence.
+	var workChunks []*tvlist.TVList[float64]
+	if e.cfg.LegacyLockedQueries {
+		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
 			if chunk := mt.Chunk(sensor); chunk != nil {
-				chunk.Sort(e.algo)
+				e.noteSort(chunk.EnsureSorted(e.algo))
 				if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
 					sources = append(sources, out)
 				}
 			}
 		}
-		unit.mu.Unlock()
+	} else {
+		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
+			if c := mt.SnapshotChunk(sensor); c != nil {
+				workChunks = append(workChunks, c)
+			}
+		}
+	}
+	unitRefs := append([]*flushUnit(nil), e.flushing...)
+	fileRefs := append([]*fileHandle(nil), e.files...)
+	for _, fh := range fileRefs {
+		fh.acquire()
+	}
+	e.mu.Unlock()
+	defer func() {
+		for _, fh := range fileRefs {
+			fh.release()
+		}
+	}()
+
+	// Snapshotted working chunks: sorted and scanned outside the lock;
+	// writers proceed in parallel.
+	for _, c := range workChunks {
+		e.noteSort(c.EnsureSorted(e.algo))
+		if out := scanChunk(c, minT, maxT); len(out) > 0 {
+			sources = append(sources, out)
+		}
+	}
+
+	// Flushing units newest-first, so an in-flight rewrite outranks
+	// the older in-flight generation it rewrites.
+	for i := len(unitRefs) - 1; i >= 0; i-- {
+		unit := unitRefs[i]
+		for _, mt := range []*memtable.MemTable{unit.unseq, unit.seq} {
+			chunk := mt.Chunk(sensor)
+			if chunk == nil {
+				continue
+			}
+			mu := unit.lockChunk(chunk)
+			mu.Lock()
+			e.noteSort(chunk.EnsureSorted(e.algo))
+			out := scanChunk(chunk, minT, maxT)
+			mu.Unlock()
+			if len(out) > 0 {
+				sources = append(sources, out)
+			}
+		}
 	}
 
 	// Files newest-first, so the rank-based dedup below gives a
@@ -615,23 +807,39 @@ func (e *Engine) LatestTime(sensor string) (int64, bool) {
 	return t, ok
 }
 
-// Stats returns a metrics snapshot.
+// Stats returns a metrics snapshot. Both locks are held together (in
+// the engine's usual e.mu → statsMu order) so the flush counters, the
+// averages derived from them, and the files/memtable numbers all
+// describe the same instant.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
 	e.statsMu.Lock()
 	s := Stats{
-		FlushCount:  e.flushCount,
-		SeqPoints:   e.seqPoints,
-		UnseqPoints: e.unseqPoints,
+		FlushCount:     e.flushCount,
+		SeqPoints:      e.seqPoints,
+		UnseqPoints:    e.unseqPoints,
+		Files:          len(e.files),
+		MemTablePoints: e.working.Points() + e.workingUn.Points(),
+		FlushWorkers:   e.pool.size,
 	}
 	if e.flushCount > 0 {
-		s.AvgFlushMillis = float64(e.flushTotal.Microseconds()) / 1000 / float64(e.flushCount)
-		s.AvgSortMillis = float64(e.sortTotal.Microseconds()) / 1000 / float64(e.flushCount)
+		n := float64(e.flushCount)
+		s.AvgFlushMillis = float64(e.flushTotal.Microseconds()) / 1000 / n
+		s.AvgSortMillis = float64(e.sortTotal.Microseconds()) / 1000 / n
+		s.AvgEncodeMillis = float64(e.encodeTotal.Microseconds()) / 1000 / n
+		s.AvgWriteMillis = float64(e.writeTotal.Microseconds()) / 1000 / n
 	}
 	e.statsMu.Unlock()
-	e.mu.Lock()
-	s.Files = len(e.files)
-	s.MemTablePoints = e.working.Points() + e.workingUn.Points()
 	e.mu.Unlock()
+
+	s.SortsSkipped = e.sortsSkipped.Load()
+	s.QueriesBlocked = e.queriesBlocked.Load()
+	s.LockWaits = e.lockHist.n.Load()
+	if s.LockWaits > 0 {
+		s.AvgLockWaitMicros = float64(e.lockHist.total.Load()) / 1e3 / float64(s.LockWaits)
+		s.MaxLockWaitMicros = float64(e.lockHist.max.Load()) / 1e3
+		s.P99LockWaitMicros = e.lockHist.percentileMicros(99)
+	}
 	return s
 }
 
@@ -646,17 +854,25 @@ func (e *Engine) FlushError() error {
 	return e.flushErr
 }
 
-// Close flushes remaining data, waits for in-flight flushes, and
-// releases file handles.
+// Close flushes remaining data, waits for in-flight flushes, stops the
+// flush worker pool, and releases the engine's file references
+// (queries still reading a file keep it open until they finish).
 func (e *Engine) Close() error {
 	e.Flush()
-	e.flushWG.Wait()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil
 	}
 	e.closed = true
+	e.mu.Unlock()
+	// closed is set: no new drain can be registered, so the wait is
+	// complete and the pool can be stopped safely.
+	e.flushWG.Wait()
+	e.pool.close()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	firstErr := e.FlushError()
 	if e.walSeg != nil {
 		// The active segment is empty (Flush above rotated the last
@@ -667,10 +883,11 @@ func (e *Engine) Close() error {
 		e.walSeg = nil
 	}
 	for _, fh := range e.files {
-		if err := fh.reader.Close(); err != nil && firstErr == nil {
+		if err := fh.release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	e.files = nil
 	return firstErr
 }
 

@@ -1,0 +1,75 @@
+package engine
+
+import "sync"
+
+// flushPool is the engine's bounded worker pool for the CPU side of
+// flushing: sorting sensor chunks and encoding them into tsfile chunk
+// payloads. One pool serves every drain of the engine, so the bound
+// holds even when several memtable generations flush concurrently —
+// the file itself is still written by the draining goroutine, in
+// deterministic sensor order, from the workers' encoded results.
+//
+// With size 1 the pool runs jobs inline on the submitting goroutine:
+// the paper-reproduction mode (cmd/repro) uses that to keep per-flush
+// wall time attributable to the sorting algorithm rather than to
+// scheduling.
+type flushPool struct {
+	size int
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// newFlushPool starts a pool with the given number of workers
+// (minimum 1).
+func newFlushPool(size int) *flushPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &flushPool{size: size}
+	if size > 1 {
+		p.jobs = make(chan func())
+		for i := 0; i < size; i++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for fn := range p.jobs {
+					fn()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// do runs every job and returns when all have finished. Jobs may run
+// on pool workers in any order and must synchronize among themselves
+// where they touch shared state.
+func (p *flushPool) do(jobs []func()) {
+	if p.size <= 1 || len(jobs) == 1 {
+		for _, fn := range jobs {
+			fn()
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(len(jobs))
+	for _, fn := range jobs {
+		fn := fn
+		p.jobs <- func() {
+			defer done.Done()
+			fn()
+		}
+	}
+	done.Wait()
+}
+
+// close stops the workers. The caller must guarantee no do() call is
+// in flight or can start afterwards (the engine does: Close marks the
+// engine closed, waits out in-flight drains, then closes the pool).
+func (p *flushPool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.wg.Wait()
+		p.jobs = nil
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlushPoolRunsEveryJob(t *testing.T) {
+	for _, size := range []int{0, 1, 2, 4} {
+		p := newFlushPool(size)
+		var ran atomic.Int64
+		jobs := make([]func(), 37)
+		for i := range jobs {
+			jobs[i] = func() { ran.Add(1) }
+		}
+		p.do(jobs)
+		if ran.Load() != 37 {
+			t.Fatalf("size %d: ran %d of 37 jobs", size, ran.Load())
+		}
+		// do returns only after every job finished, so reuse is safe.
+		ran.Store(0)
+		p.do(jobs[:1])
+		if ran.Load() != 1 {
+			t.Fatalf("size %d: single-job do ran %d", size, ran.Load())
+		}
+		p.close()
+	}
+}
+
+func TestFlushPoolConcurrentDo(t *testing.T) {
+	// Multiple drains can share the pool; their job sets must not
+	// interfere.
+	p := newFlushPool(4)
+	defer p.close()
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for d := 0; d < 8; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]func(), 20)
+			for i := range jobs {
+				jobs[i] = func() { ran.Add(1) }
+			}
+			p.do(jobs)
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 8*20 {
+		t.Fatalf("ran %d of %d jobs", ran.Load(), 8*20)
+	}
+}
+
+func TestFileHandleRefcount(t *testing.T) {
+	e := openTest(t, Config{MemTableSize: 2, SyncFlush: true})
+	for i := 0; i < 4; i++ {
+		if err := e.Insert("s", int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	e.mu.Lock()
+	if len(e.files) == 0 {
+		e.mu.Unlock()
+		t.Fatal("no flushed files")
+	}
+	fh := e.files[0]
+	fh.acquire() // simulate a query pinning the handle
+	e.mu.Unlock()
+
+	if got := fh.refs.Load(); got != 2 {
+		t.Fatalf("refs = %d, want 2 (engine + query)", got)
+	}
+	// The engine's own release (as in Close/compaction) must not close
+	// the reader while the query still holds it.
+	if err := fh.release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fh.reader.ReadChunk(fh.reader.Index()[0]); err != nil {
+		t.Fatalf("read after engine release: %v", err)
+	}
+	// Last release closes; further reads fail.
+	if err := fh.release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fh.reader.ReadChunk(fh.reader.Index()[0]); err == nil {
+		t.Fatal("read succeeded after final release")
+	}
+	// Put a fresh reference back so engine Close (via openTest cleanup)
+	// does not double-release this handle.
+	e.mu.Lock()
+	e.files = e.files[1:]
+	e.mu.Unlock()
+}

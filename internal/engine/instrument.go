@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// lockWaitBuckets is the histogram width: bucket 0 counts waits under
+// 1µs, bucket i counts waits in [2^(i-1), 2^i) µs, and the last bucket
+// absorbs everything longer (2^22 µs ≈ 4.2 s).
+const lockWaitBuckets = 24
+
+// lockWaitHist is a lock-free histogram of engine-lock acquisition
+// waits. Only contended acquisitions are recorded (the uncontended
+// fast path costs one TryLock), so the counts answer the question the
+// paper's Figures 13–15 circle around: how often, and for how long,
+// does the engine lock make someone wait?
+type lockWaitHist struct {
+	counts [lockWaitBuckets]atomic.Int64
+	n      atomic.Int64
+	total  atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+func (h *lockWaitHist) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.n.Add(1)
+	h.total.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < lockWaitBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+}
+
+// percentileMicros returns an upper bound for the p-th percentile wait
+// in microseconds, at bucket (power-of-two) resolution.
+func (h *lockWaitHist) percentileMicros(p float64) float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(float64(n)*p/100 + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < lockWaitBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return float64(int64(1) << i)
+		}
+	}
+	return float64(int64(1) << (lockWaitBuckets - 1))
+}
+
+// lockContended acquires the engine lock, recording the wait whenever
+// the lock was not immediately free. isQuery additionally feeds the
+// queries-blocked counter — the query side of IoTDB's
+// query-blocks-writes contention window.
+func (e *Engine) lockContended(isQuery bool) {
+	if e.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	e.mu.Lock()
+	e.lockHist.record(time.Since(t0))
+	if isQuery {
+		e.queriesBlocked.Add(1)
+	}
+}
+
+// noteSort feeds the sorted-flag shortcut counter: performed=false
+// means a TVList sort was skipped because the list was already in time
+// order (an earlier query or drain paid for it, or the data arrived
+// ordered).
+func (e *Engine) noteSort(performed bool) {
+	if !performed {
+		e.sortsSkipped.Add(1)
+	}
+}

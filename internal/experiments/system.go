@@ -96,6 +96,14 @@ func runSystemCell(spec SystemSpec, pct float64, algo string, sc Scale) (bench.R
 		// the flush still blocks ingestion exactly as IoTDB's sorting
 		// step does.
 		SyncFlush: true,
+		// Paper mode: one flush worker (so per-flush sort time is the
+		// algorithm's sequential cost, not pool scheduling) and legacy
+		// locked queries (queries sort under the engine lock, blocking
+		// writes — the contention Figures 13–15 measure). The
+		// engine's default concurrent pipeline is deliberately NOT
+		// what the paper benchmarked.
+		FlushWorkers:        1,
+		LegacyLockedQueries: true,
 	})
 	if err != nil {
 		return bench.Result{}, err

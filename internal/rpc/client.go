@@ -157,6 +157,35 @@ func (c *Client) Stats() (engine.Stats, error) {
 		return st, err
 	}
 	st.MemTablePoints = int(mp)
+	fw, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.FlushWorkers = int(fw)
+	if st.SortsSkipped, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.LockWaits, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.QueriesBlocked, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.AvgEncodeMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.AvgWriteMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.AvgLockWaitMicros, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.MaxLockWaitMicros, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.P99LockWaitMicros, err = p.float64(); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 

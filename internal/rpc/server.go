@@ -168,6 +168,15 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		resp = binary.AppendVarint(resp, st.UnseqPoints)
 		resp = binary.AppendVarint(resp, int64(st.Files))
 		resp = binary.AppendVarint(resp, int64(st.MemTablePoints))
+		resp = binary.AppendVarint(resp, int64(st.FlushWorkers))
+		resp = binary.AppendVarint(resp, st.SortsSkipped)
+		resp = binary.AppendVarint(resp, st.LockWaits)
+		resp = binary.AppendVarint(resp, st.QueriesBlocked)
+		resp = appendFloat64(resp, st.AvgEncodeMillis)
+		resp = appendFloat64(resp, st.AvgWriteMillis)
+		resp = appendFloat64(resp, st.AvgLockWaitMicros)
+		resp = appendFloat64(resp, st.MaxLockWaitMicros)
+		resp = appendFloat64(resp, st.P99LockWaitMicros)
 		return resp, nil
 
 	case OpFlush:

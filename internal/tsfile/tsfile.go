@@ -91,39 +91,69 @@ func Create(path string) (*Writer, error) {
 // invariant sorting establishes before flush — and len(times) must
 // equal len(values) and be > 0.
 func (w *Writer) WriteChunk(sensor string, times []int64, values []float64) error {
-	if w.closed {
-		return errors.New("tsfile: write after Close")
+	enc, err := EncodeChunk(sensor, times, values)
+	if err != nil {
+		return err
 	}
+	return w.AppendEncoded(enc)
+}
+
+// EncodedChunk is a chunk encoded away from the Writer — validation,
+// column encoding and the CRC all happen here, so several chunks can
+// be prepared concurrently on different goroutines and then appended
+// to the file sequentially in a chosen order. Meta.Offset is filled in
+// by AppendEncoded.
+type EncodedChunk struct {
+	Meta    ChunkMeta
+	payload []byte
+	crc     uint32
+}
+
+// EncodeChunk validates and encodes one chunk without touching any
+// Writer. It is safe to call from multiple goroutines.
+func EncodeChunk(sensor string, times []int64, values []float64) (*EncodedChunk, error) {
 	if len(times) == 0 || len(times) != len(values) {
-		return fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
+		return nil, fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
 	}
 	if len(sensor) > maxSensorName {
-		return fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
+		return nil, fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
 	}
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {
-			return fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
+			return nil, fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
 		}
 	}
-
 	payload := encodeChunk(sensor, times, values)
-	sum := crc32.ChecksumIEEE(payload)
-	meta := ChunkMeta{
-		Sensor:  sensor,
-		Offset:  w.off,
-		Count:   len(times),
-		MinTime: times[0],
-		MaxTime: times[len(times)-1],
+	return &EncodedChunk{
+		Meta: ChunkMeta{
+			Sensor:  sensor,
+			Count:   len(times),
+			MinTime: times[0],
+			MaxTime: times[len(times)-1],
+		},
+		payload: payload,
+		crc:     crc32.ChecksumIEEE(payload),
+	}, nil
+}
+
+// AppendEncoded appends a chunk prepared by EncodeChunk. Like the rest
+// of Writer it is not safe for concurrent use — parallel encoders must
+// funnel their results through one appender.
+func (w *Writer) AppendEncoded(enc *EncodedChunk) error {
+	if w.closed {
+		return errors.New("tsfile: write after Close")
 	}
-	if _, err := w.w.Write(payload); err != nil {
+	meta := enc.Meta
+	meta.Offset = w.off
+	if _, err := w.w.Write(enc.payload); err != nil {
 		return err
 	}
 	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], sum)
+	binary.LittleEndian.PutUint32(crcBuf[:], enc.crc)
 	if _, err := w.w.Write(crcBuf[:]); err != nil {
 		return err
 	}
-	w.off += int64(len(payload)) + 4
+	w.off += int64(len(enc.payload)) + 4
 	w.index = append(w.index, meta)
 	return nil
 }

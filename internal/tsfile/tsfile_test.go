@@ -289,3 +289,88 @@ func TestTimestampCompression(t *testing.T) {
 		t.Fatalf("file too large for delta encoding: %d bytes", st.Size())
 	}
 }
+
+func TestEncodeAppendMatchesWriteChunk(t *testing.T) {
+	// Encoding in any order then appending must produce a file
+	// identical in content to sequential WriteChunk calls.
+	times1 := []int64{1, 2, 3}
+	vals1 := []float64{10, 20, 30}
+	times2 := []int64{5, 9}
+	vals2 := []float64{50, 90}
+
+	direct := tmpPath(t)
+	w, err := Create(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("a", times1, vals1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk("b", times2, vals2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	staged := tmpPath2(t)
+	// Encode out of append order — Offset is only assigned at append.
+	encB, err := EncodeChunk("b", times2, vals2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encA, err := EncodeChunk("a", times1, vals1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encA.Meta.Offset != 0 || encB.Meta.Offset != 0 {
+		t.Fatal("offset assigned before append")
+	}
+	w2, err := Create(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendEncoded(encA); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendEncoded(encB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("file sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("files differ at byte %d", i)
+		}
+	}
+}
+
+func TestEncodeChunkValidation(t *testing.T) {
+	if _, err := EncodeChunk("s", nil, nil); err == nil {
+		t.Fatal("empty chunk should fail")
+	}
+	if _, err := EncodeChunk("s", []int64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := EncodeChunk("s", []int64{2, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("unsorted times should fail")
+	}
+}
+
+func tmpPath2(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test2.gtsf")
+}

@@ -149,11 +149,20 @@ func (l *TVList[V]) MaxTime() int64 { return l.maxTime }
 // skipping the work when the list is already known sorted — the same
 // shortcut IoTDB's flush and query paths take.
 func (l *TVList[V]) Sort(algo func(core.Sortable)) {
+	l.EnsureSorted(algo)
+}
+
+// EnsureSorted is Sort with a report: it returns true when a sort was
+// actually performed and false when the sorted flag let it be skipped.
+// The engine uses the return value to count how often the
+// flush-then-query (or query-then-flush) path gets its sort for free.
+func (l *TVList[V]) EnsureSorted(algo func(core.Sortable)) bool {
 	if l.sorted {
-		return
+		return false
 	}
 	algo(l)
 	l.sorted = true
+	return true
 }
 
 // SeekTime returns the first index whose timestamp is >= t. The list

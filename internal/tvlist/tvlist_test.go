@@ -309,3 +309,29 @@ func TestSortLargeWithSmallArrays(t *testing.T) {
 		_ = prev
 	}
 }
+
+func TestEnsureSortedReportsWork(t *testing.T) {
+	algo := sortalgo.MustGet("backward")
+	l := NewDouble()
+	l.Put(3, 30)
+	l.Put(1, 10)
+	if !l.EnsureSorted(algo) {
+		t.Fatal("unsorted list: EnsureSorted should report a sort")
+	}
+	if !l.Sorted() || l.Time(0) != 1 || l.Time(1) != 3 {
+		t.Fatal("EnsureSorted did not sort")
+	}
+	if l.EnsureSorted(algo) {
+		t.Fatal("already-sorted list: EnsureSorted should be a no-op")
+	}
+	// In-order appends keep the flag, so the next call is still free.
+	l.Put(7, 70)
+	if l.EnsureSorted(algo) {
+		t.Fatal("in-order append should not force a re-sort")
+	}
+	// An out-of-order append invalidates it again.
+	l.Put(5, 50)
+	if !l.EnsureSorted(algo) {
+		t.Fatal("out-of-order append should force a re-sort")
+	}
+}
