@@ -44,6 +44,8 @@ func main() {
 	sensorsPerDevice := flag.Int("sensors-per-device", 1, "sensors (memtable chunks) per device")
 	memtable := flag.Int("memtable", 100000, "memtable flush threshold (points)")
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size for the in-process engine (0 = GOMAXPROCS)")
+	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers for the in-process engine (0 = 1, sequential)")
+	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
 	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
@@ -61,7 +63,8 @@ func main() {
 		mu: *mu, sigma: *sigma, writePct: *writePct,
 		ops: *ops, batch: *batch, clients: *clients, memtable: *memtable,
 		devices: *devices, sensorsPerDevice: *sensorsPerDevice,
-		flushWorkers: *flushWorkers, legacyLocking: *legacyLocking,
+		flushWorkers: *flushWorkers, sortParallelism: *sortParallelism,
+		flatThreshold: *flatThreshold, legacyLocking: *legacyLocking,
 	}
 	if err := runCell(cell); err != nil {
 		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -76,6 +79,8 @@ type cellConfig struct {
 	ops, batch, clients, memtable int
 	devices, sensorsPerDevice     int
 	flushWorkers                  int
+	sortParallelism               int
+	flatThreshold                 int
 	legacyLocking                 bool
 }
 
@@ -142,7 +147,8 @@ func runCell(cc cellConfig) error {
 		}
 		eng, err := engine.Open(engine.Config{
 			Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
-			FlushWorkers: cc.flushWorkers, LegacyLockedQueries: cc.legacyLocking,
+			FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
+			FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
 		})
 		if err != nil {
 			return err
@@ -175,6 +181,9 @@ func runCell(cc cellConfig) error {
 		res.FlushCount, res.AvgFlushMs, res.AvgSortMs, res.AvgEncodeMs, res.AvgWriteMs, res.FlushWorkers)
 	fmt.Printf("  engine lock: %d contended acquisitions (avg %.1f µs, p99 ≤ %.0f µs), %d queries blocked, %d sorts skipped\n",
 		res.LockWaits, res.AvgLockWaitMicros, res.P99LockWaitMicros, res.QueriesBlocked, res.SortsSkipped)
+	fmt.Printf("  sort kernel: %d flat sorts (%.3f ms), %d interface sorts (%.3f ms); parallelism %d, threshold %d\n",
+		res.FlatSorts, res.FlatSortMillis, res.InterfaceSorts, res.InterfaceSortMillis,
+		res.SortParallelism, res.FlatSortThreshold)
 	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
 	fmt.Printf("  total test latency: %v\n", res.TotalLatency)
 	return nil

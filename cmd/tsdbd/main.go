@@ -24,6 +24,8 @@ func main() {
 	arrayLen := flag.Int("arraylen", 32, "TVList array length")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size (0 = GOMAXPROCS)")
+	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
+	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		Algorithm:           *algo,
 		WAL:                 *walOn,
 		FlushWorkers:        *flushWorkers,
+		SortParallelism:     *sortParallelism,
+		FlatSortThreshold:   *flatThreshold,
 		LegacyLockedQueries: *legacyLocking,
 	})
 	if err != nil {

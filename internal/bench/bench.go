@@ -167,6 +167,13 @@ type Result struct {
 	AvgLockWaitMicros float64
 	P99LockWaitMicros float64
 	QueriesBlocked    int64
+	// Sort kernel routing (flat fast path vs interface path).
+	FlatSorts           int64
+	InterfaceSorts      int64
+	FlatSortMillis      float64
+	InterfaceSortMillis float64
+	SortParallelism     int
+	FlatSortThreshold   int
 }
 
 // deviceStream hands out successive batches of one device's
@@ -365,5 +372,11 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.AvgLockWaitMicros = st.AvgLockWaitMicros
 	res.P99LockWaitMicros = st.P99LockWaitMicros
 	res.QueriesBlocked = st.QueriesBlocked
+	res.FlatSorts = st.FlatSorts
+	res.InterfaceSorts = st.InterfaceSorts
+	res.FlatSortMillis = st.FlatSortMillis
+	res.InterfaceSortMillis = st.InterfaceSortMillis
+	res.SortParallelism = st.SortParallelism
+	res.FlatSortThreshold = st.FlatSortThreshold
 	return res, nil
 }

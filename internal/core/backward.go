@@ -180,10 +180,10 @@ func backwardMerge(s Sortable, n, L int, tr *Trace) {
 		// the tail [a, blockEnd) merges.
 		a := upperBoundBlock(s, blockEnd-L, blockEnd, suffixHead)
 		r := blockEnd - a
-		if cap(tailTimes) < r {
-			tailTimes = make([]int64, r)
-		}
-		mergeOverlap(s, a, blockEnd, q, tailTimes[:r])
+		// Geometric growth: a run of ever-larger overlaps costs O(log)
+		// reallocations, where exact-fit sizing would pay one per merge.
+		tailTimes = growInt64(tailTimes, r)
+		mergeOverlap(s, a, blockEnd, q, tailTimes)
 		tr.Merges++
 		tr.OverlapTotal += int64(q)
 		tr.TailTotal += int64(r)

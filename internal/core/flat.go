@@ -1,0 +1,452 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the monomorphized fast path of Backward-Sort: the same
+// three phases as BackwardSort (set block size / sort by blocks /
+// backward merge), specialized to contiguous []int64 / []V slices.
+// Every s.Time(i) of the interface path is an indexed load here, every
+// Swap/Move/Save/Restore a pair of slice assignments — no interface
+// dispatch, no i/arrayLen+i%arrayLen block arithmetic. Phase 2 may
+// additionally fan the independent block sorts (Algorithm 1 lines
+// 9-12) across a bounded set of goroutines; phase 3 stays sequential
+// and backward, exactly as the algorithm requires.
+
+// FlatOptions configures SortFlat. The zero value selects the paper's
+// defaults and a sequential phase 2.
+type FlatOptions struct {
+	// InitialBlockSize is L0 (default DefaultInitialBlockSize).
+	InitialBlockSize int
+	// Threshold is Θ (default DefaultThreshold).
+	Threshold float64
+	// FixedBlockSize, when positive, skips the set-block-size search
+	// and uses the given L directly.
+	FixedBlockSize int
+	// Parallelism bounds the phase-2 block-sorting workers; values
+	// below 2 keep phase 2 on the calling goroutine. Phases 1 and 3
+	// are sequential regardless: the block-size scan is O(n/L0) and
+	// the backward merge's suffix invariant is inherently ordered.
+	Parallelism int
+}
+
+func (o FlatOptions) withDefaults() FlatOptions {
+	if o.InitialBlockSize <= 0 {
+		o.InitialBlockSize = DefaultInitialBlockSize
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultThreshold
+	}
+	return o
+}
+
+// flatScratch is the pooled merge scratch of the flat kernel: the
+// parked block tail (or suffix overlap), keys and values side by side.
+type flatScratch[V any] struct {
+	t []int64
+	v []V
+}
+
+// flatScratchPool recycles merge scratch across sorts — and, because
+// it is package-level, across every flush worker and query goroutine
+// in the process, so steady-state sorting allocates nothing. The pool
+// stores mixed instantiations; a Get that surfaces a scratch of
+// another value type drops it (a process overwhelmingly sorts one
+// value type, so mismatches are startup noise, not churn).
+var flatScratchPool sync.Pool
+
+func getFlatScratch[V any]() *flatScratch[V] {
+	if x := flatScratchPool.Get(); x != nil {
+		if s, ok := x.(*flatScratch[V]); ok {
+			return s
+		}
+	}
+	return &flatScratch[V]{}
+}
+
+func putFlatScratch[V any](s *flatScratch[V]) {
+	clear(s.v) // drop value references so pooling cannot pin them
+	flatScratchPool.Put(s)
+}
+
+// growInt64 returns s resized to n, growing geometrically so a
+// sequence of ever-larger requests costs O(log) reallocations, not one
+// each. Contents are not preserved across a reallocation.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		c := 2 * cap(s)
+		if c < n {
+			c = n
+		}
+		s = make([]int64, c)
+	}
+	return s[:n]
+}
+
+// growSlice is growInt64 for the value side.
+func growSlice[V any](s []V, n int) []V {
+	if cap(s) < n {
+		c := 2 * cap(s)
+		if c < n {
+			c = n
+		}
+		s = make([]V, c)
+	}
+	return s[:n]
+}
+
+// SortFlat sorts the parallel slices by timestamp using Backward-Sort,
+// specialized to contiguous storage. It panics if the lengths differ.
+// The Trace it returns is identical to what BackwardSort would report
+// on the same input: the two paths run the same algorithm, and the
+// phase-2 fan-out cannot change what any block contains.
+func SortFlat[V any](times []int64, values []V, opts FlatOptions) Trace {
+	if len(times) != len(values) {
+		panic("core: times and values length mismatch")
+	}
+	opts = opts.withDefaults()
+	n := len(times)
+	var tr Trace
+	if n < 2 {
+		tr.BlockSize = n
+		return tr
+	}
+
+	// Phase 1: set block size (Algorithm 1 lines 1-8).
+	L := opts.FixedBlockSize
+	if L <= 0 {
+		L, tr.SearchIterations = setBlockSizeFlat(times, opts.InitialBlockSize, opts.Threshold)
+	}
+	if L > n {
+		L = n
+	}
+	if L < 1 {
+		L = 1
+	}
+	tr.BlockSize = L
+	tr.Blocks = (n + L - 1) / L
+
+	// Phase 2: sort by blocks (lines 9-12), fanned out when asked.
+	sortBlocksFlat(times, values, L, opts.Parallelism)
+
+	// Phase 3: backward merge (lines 13-16), sequential by invariant.
+	backwardMergeFlat(times, values, L, &tr)
+	return tr
+}
+
+// setBlockSizeFlat is setBlockSize over a flat timestamp slice.
+func setBlockSizeFlat(times []int64, l0 int, theta float64) (L, iterations int) {
+	n := len(times)
+	L = l0
+	for L <= n {
+		iterations++
+		if empiricalIIRFlat(times, L) < theta {
+			break
+		}
+		L *= 2
+	}
+	if L > n {
+		L = n
+	}
+	return L, iterations
+}
+
+// empiricalIIRFlat estimates α̃_L from the stride-L subsample of a
+// flat timestamp slice (Example 5 / Proposition 2).
+func empiricalIIRFlat(times []int64, L int) float64 {
+	n := len(times)
+	pairs, inverted := 0, 0
+	prev := times[0]
+	for i := L; i < n; i += L {
+		t := times[i]
+		pairs++
+		if prev > t {
+			inverted++
+		}
+		prev = t
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(inverted) / float64(pairs)
+}
+
+// sortBlocksFlat sorts every L-sized block in place. Blocks are
+// independent by construction (Algorithm 1 lines 9-12), so with
+// parallelism > 1 contiguous runs of blocks are handed to up to that
+// many goroutines; run boundaries are block boundaries, so the result
+// is bit-identical to the sequential order.
+func sortBlocksFlat[V any](times []int64, values []V, L, parallelism int) {
+	n := len(times)
+	blocks := (n + L - 1) / L
+	workers := parallelism
+	if workers > blocks {
+		workers = blocks
+	}
+	// Never fan out beyond the CPUs actually available: an extra worker
+	// can't run anyway, and on a loaded scheduler the spawned goroutine
+	// waits a full run-queue round behind busy peers — turning a
+	// sub-millisecond block sort into milliseconds of latency.
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += L {
+			hi := lo + L
+			if hi > n {
+				hi = n
+			}
+			quicksortFlat(times, values, lo, hi)
+		}
+		return
+	}
+	per := (blocks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		startBlk := w * per
+		if startBlk >= blocks {
+			break
+		}
+		end := (startBlk + per) * L
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, end int) {
+			defer wg.Done()
+			for ; lo < end; lo += L {
+				hi := lo + L
+				if hi > end {
+					hi = end
+				}
+				quicksortFlat(times, values, lo, hi)
+			}
+		}(startBlk*L, end)
+	}
+	wg.Wait()
+}
+
+// quicksortFlat is QuicksortRange monomorphized: middle-element pivot,
+// smaller-side recursion, insertion sort below the cutoff.
+func quicksortFlat[V any](t []int64, v []V, lo, hi int) {
+	for hi-lo > insertionCutoff {
+		p := partitionFlat(t, v, lo, hi)
+		if p+1-lo < hi-p-1 {
+			quicksortFlat(t, v, lo, p+1)
+			lo = p + 1
+		} else {
+			quicksortFlat(t, v, p+1, hi)
+			hi = p + 1
+		}
+	}
+	insertionSortFlat(t, v, lo, hi)
+}
+
+// partitionFlat is the Hoare partition of QuicksortRange on flat
+// slices.
+func partitionFlat[V any](t []int64, v []V, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	t[lo], t[mid] = t[mid], t[lo]
+	v[lo], v[mid] = v[mid], v[lo]
+	pivot := t[lo]
+	i, j := lo-1, hi
+	for {
+		for {
+			i++
+			if t[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if t[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		t[i], t[j] = t[j], t[i]
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// insertionSortFlat shifts displaced records right while the record in
+// flight sits in two locals — the flat path needs no scratch slot at
+// all for insertion.
+func insertionSortFlat[V any](t []int64, v []V, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		key := t[i]
+		if key >= t[i-1] {
+			continue
+		}
+		val := v[i]
+		j := i
+		for j > lo && t[j-1] > key {
+			t[j] = t[j-1]
+			v[j] = v[j-1]
+			j--
+		}
+		t[j] = key
+		v[j] = val
+	}
+}
+
+// backwardMergeFlat is backwardMerge on flat slices, drawing its merge
+// scratch from the shared pool. Same invariant: the suffix right of
+// blockEnd is fully sorted; only overlapping records move.
+func backwardMergeFlat[V any](t []int64, v []V, L int, tr *Trace) {
+	n := len(t)
+	if L >= n {
+		return
+	}
+	sc := getFlatScratch[V]()
+	lastStart := ((n - 1) / L) * L
+	for blockEnd := lastStart; blockEnd >= L; blockEnd -= L {
+		blockMax := t[blockEnd-1]
+		suffixHead := t[blockEnd]
+		if blockMax <= suffixHead {
+			continue // no overlap across the boundary
+		}
+		q := lowerBoundFlat(t, blockEnd, n, blockMax)
+		a := upperBoundFlat(t, blockEnd-L, blockEnd, suffixHead)
+		r := blockEnd - a
+		if r <= q {
+			mergeOverlapLoFlat(t, v, a, blockEnd, q, sc)
+		} else {
+			mergeOverlapHiFlat(t, v, a, blockEnd, q, sc)
+		}
+		tr.Merges++
+		tr.OverlapTotal += int64(q)
+		tr.TailTotal += int64(r)
+		if q > tr.MaxOverlap {
+			tr.MaxOverlap = q
+		}
+	}
+	putFlatScratch(sc)
+}
+
+// lowerBoundFlat counts records in the sorted suffix [start, n) with
+// time strictly less than key. The overlap is delay-bounded and almost
+// always tiny relative to the suffix, so it gallops out from the
+// boundary — O(log overlap) probes that stay in cache — instead of
+// bisecting the whole (cold) suffix.
+func lowerBoundFlat(t []int64, start, n int, key int64) int {
+	if start >= n || t[start] >= key {
+		return 0
+	}
+	off := 1
+	for start+off < n && t[start+off] < key {
+		off <<= 1
+	}
+	lo := start + off>>1 + 1
+	hi := start + off
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - start
+}
+
+// upperBoundFlat returns the first index in the sorted range [lo, hi)
+// whose time is strictly greater than key. The block tail that
+// overlaps the suffix is small for the same delay-bound reason, so it
+// gallops backward from hi.
+func upperBoundFlat(t []int64, lo, hi int, key int64) int {
+	if lo >= hi {
+		return lo
+	}
+	if t[hi-1] <= key {
+		return hi
+	}
+	off := 1
+	for hi-1-off >= lo && t[hi-1-off] > key {
+		off <<= 1
+	}
+	if l := hi - off; l > lo {
+		lo = l
+	}
+	hi -= off >> 1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeOverlapLoFlat parks the block tail [a, blockEnd) (the smaller
+// side) in scratch and merges forward with the suffix head.
+func mergeOverlapLoFlat[V any](t []int64, v []V, a, blockEnd, q int, sc *flatScratch[V]) {
+	r := blockEnd - a
+	sc.t = growInt64(sc.t, r)
+	sc.v = growSlice(sc.v, r)
+	copy(sc.t, t[a:blockEnd])
+	copy(sc.v, v[a:blockEnd])
+	dst := a
+	i, j := 0, blockEnd
+	end := blockEnd + q
+	for i < r && j < end {
+		if sc.t[i] <= t[j] {
+			t[dst] = sc.t[i]
+			v[dst] = sc.v[i]
+			i++
+		} else {
+			t[dst] = t[j]
+			v[dst] = v[j]
+			j++
+		}
+		dst++
+	}
+	for i < r {
+		t[dst] = sc.t[i]
+		v[dst] = sc.v[i]
+		i++
+		dst++
+	}
+	// Remaining suffix records [j, end) are already in place.
+}
+
+// mergeOverlapHiFlat parks the suffix overlap [blockEnd, blockEnd+q)
+// (the smaller side) in scratch and merges backward with the tail.
+func mergeOverlapHiFlat[V any](t []int64, v []V, a, blockEnd, q int, sc *flatScratch[V]) {
+	r := blockEnd - a
+	sc.t = growInt64(sc.t, q)
+	sc.v = growSlice(sc.v, q)
+	copy(sc.t, t[blockEnd:blockEnd+q])
+	copy(sc.v, v[blockEnd:blockEnd+q])
+	dst := blockEnd + q - 1
+	i, j := q-1, blockEnd-1
+	lo := blockEnd - r
+	for i >= 0 && j >= lo {
+		if sc.t[i] >= t[j] {
+			t[dst] = sc.t[i]
+			v[dst] = sc.v[i]
+			i--
+		} else {
+			t[dst] = t[j]
+			v[dst] = v[j]
+			j--
+		}
+		dst--
+	}
+	for i >= 0 {
+		t[dst] = sc.t[i]
+		v[dst] = sc.v[i]
+		i--
+		dst--
+	}
+	// Remaining tail records [lo, j] are already in place.
+}

@@ -80,11 +80,16 @@ func (p *Pairs[V]) Move(src, dst int) {
 	p.Values[dst] = p.Values[src]
 }
 
-// EnsureScratch implements Sortable.
+// EnsureScratch implements Sortable. Scratch grows geometrically so a
+// sequence of ever-larger merges costs O(log) reallocations.
 func (p *Pairs[V]) EnsureScratch(n int) {
 	if cap(p.scratchT) < n {
-		p.scratchT = make([]int64, n)
-		p.scratchV = make([]V, n)
+		c := 2 * cap(p.scratchT)
+		if c < n {
+			c = n
+		}
+		p.scratchT = make([]int64, c)
+		p.scratchV = make([]V, c)
 	}
 	p.scratchT = p.scratchT[:cap(p.scratchT)]
 	p.scratchV = p.scratchV[:cap(p.scratchV)]

@@ -43,6 +43,12 @@ import (
 // 100,000 as "the appropriate memory points size in the IoTDB".
 const DefaultMemTableSize = 100000
 
+// DefaultFlatSortThreshold is the TVList length at or above which a
+// backward-sort routes through the contiguous flat kernel. Below it
+// the 2·O(n) coalesce/scatter copies and the pool round-trip rival the
+// kernel's constant-factor win; above it the kernel dominates.
+const DefaultFlatSortThreshold = 4096
+
 // Config configures an Engine.
 type Config struct {
 	// Dir is the data directory; it is created if missing.
@@ -63,6 +69,20 @@ type Config struct {
 	// drain fully sequential, as the original IoTDB-style pipeline
 	// was.
 	FlushWorkers int
+	// FlatSortThreshold is the TVList length at or above which
+	// backward-sorts take the compact-to-flat kernel path instead of
+	// the in-place interface path (0 selects
+	// DefaultFlatSortThreshold; negative disables the kernel, pinning
+	// every sort to the interface path — cmd/repro uses that so the
+	// reproduced figures keep measuring the algorithm, not the
+	// kernel). Only the "backward" algorithm has a flat kernel; other
+	// algorithms always sort through the interface.
+	FlatSortThreshold int
+	// SortParallelism bounds the flat kernel's phase-2 block-sorting
+	// workers (default 1: block sorting stays on the sorting
+	// goroutine, which composes predictably with FlushWorkers — raise
+	// it when flushes are the bottleneck and cores are spare).
+	SortParallelism int
 	// LegacyLockedQueries restores IoTDB's query-blocks-writes
 	// behavior: queries sort the live working TVLists in place while
 	// holding the engine lock. Off by default — queries snapshot under
@@ -100,6 +120,15 @@ type Stats struct {
 	MemTablePoints  int
 	FlushWorkers    int   // resolved worker-pool size
 	SortsSkipped    int64 // TVList sorts avoided via the sorted flag
+	// Sort kernel routing: how many TVList sorts took the contiguous
+	// flat kernel vs the in-place interface path, and the cumulative
+	// wall time spent in each (flush drains and queries combined).
+	FlatSorts           int64
+	InterfaceSorts      int64
+	FlatSortMillis      float64
+	InterfaceSortMillis float64
+	SortParallelism     int // resolved phase-2 worker bound
+	FlatSortThreshold   int // resolved routing threshold (<0 = kernel off)
 	// Engine-lock contention, recorded only when an acquisition had to
 	// wait (the uncontended fast path is not counted).
 	LockWaits         int64
@@ -115,6 +144,14 @@ type Engine struct {
 	cfg  Config
 	algo sortalgo.Func
 	pool *flushPool
+
+	// Flat-kernel routing, resolved at Open: lists of at least
+	// flatThreshold records sort through tvlist.EnsureSortedFlat when
+	// useFlat (algorithm is "backward" and the threshold is not
+	// negative); everything else takes the interface path.
+	useFlat       bool
+	flatThreshold int
+	flatOpts      core.FlatOptions
 
 	// mu is the engine lock. It guards the mutable engine state: the
 	// working memtables, the flushing list, the files list, the
@@ -149,6 +186,13 @@ type Engine struct {
 	lockHist       lockWaitHist
 	queriesBlocked atomic.Int64
 	sortsSkipped   atomic.Int64
+
+	// Sort-path observability (lock-free; drains and queries both
+	// feed them through sortChunk).
+	flatSorts      atomic.Int64
+	ifaceSorts     atomic.Int64
+	flatSortNanos  atomic.Int64
+	ifaceSortNanos atomic.Int64
 }
 
 // flushUnit is one immutable memtable pair being drained. Its chunks
@@ -225,14 +269,25 @@ func Open(cfg Config) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	flatThreshold := cfg.FlatSortThreshold
+	if flatThreshold == 0 {
+		flatThreshold = DefaultFlatSortThreshold
+	}
+	sortPar := cfg.SortParallelism
+	if sortPar <= 0 {
+		sortPar = 1
+	}
 	e := &Engine{
-		cfg:         cfg,
-		algo:        algo,
-		pool:        newFlushPool(workers),
-		working:     memtable.New(cfg.ArrayLen),
-		workingUn:   memtable.New(cfg.ArrayLen),
-		lastFlushed: make(map[string]int64),
-		latest:      make(map[string]int64),
+		cfg:           cfg,
+		algo:          algo,
+		pool:          newFlushPool(workers),
+		useFlat:       flatThreshold > 0 && cfg.Algorithm == "backward",
+		flatThreshold: flatThreshold,
+		flatOpts:      core.FlatOptions{Parallelism: sortPar},
+		working:       memtable.New(cfg.ArrayLen),
+		workingUn:     memtable.New(cfg.ArrayLen),
+		lastFlushed:   make(map[string]int64),
+		latest:        make(map[string]int64),
 	}
 	opened := false
 	defer func() {
@@ -540,9 +595,7 @@ func (e *Engine) drain(unit *flushUnit) {
 				chunk := mt.Chunk(sensor)
 				mu := unit.lockChunk(chunk)
 				mu.Lock()
-				t0 := time.Now()
-				e.noteSort(chunk.EnsureSorted(e.algo))
-				sortNanos.Add(int64(time.Since(t0)))
+				sortNanos.Add(e.sortChunk(chunk))
 				ts, vs := chunk.ToSlices()
 				mu.Unlock()
 				t1 := time.Now()
@@ -668,7 +721,7 @@ func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
 	if e.cfg.LegacyLockedQueries {
 		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
 			if chunk := mt.Chunk(sensor); chunk != nil {
-				e.noteSort(chunk.EnsureSorted(e.algo))
+				e.sortChunk(chunk)
 				if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
 					sources = append(sources, out)
 				}
@@ -696,7 +749,7 @@ func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
 	// Snapshotted working chunks: sorted and scanned outside the lock;
 	// writers proceed in parallel.
 	for _, c := range workChunks {
-		e.noteSort(c.EnsureSorted(e.algo))
+		e.sortChunk(c)
 		if out := scanChunk(c, minT, maxT); len(out) > 0 {
 			sources = append(sources, out)
 		}
@@ -713,7 +766,7 @@ func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
 			}
 			mu := unit.lockChunk(chunk)
 			mu.Lock()
-			e.noteSort(chunk.EnsureSorted(e.algo))
+			e.sortChunk(chunk)
 			out := scanChunk(chunk, minT, maxT)
 			mu.Unlock()
 			if len(out) > 0 {
@@ -833,6 +886,16 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 
 	s.SortsSkipped = e.sortsSkipped.Load()
+	s.FlatSorts = e.flatSorts.Load()
+	s.InterfaceSorts = e.ifaceSorts.Load()
+	s.FlatSortMillis = float64(e.flatSortNanos.Load()) / 1e6
+	s.InterfaceSortMillis = float64(e.ifaceSortNanos.Load()) / 1e6
+	s.SortParallelism = e.flatOpts.Parallelism
+	if e.useFlat {
+		s.FlatSortThreshold = e.flatThreshold
+	} else {
+		s.FlatSortThreshold = -1
+	}
 	s.QueriesBlocked = e.queriesBlocked.Load()
 	s.LockWaits = e.lockHist.n.Load()
 	if s.LockWaits > 0 {

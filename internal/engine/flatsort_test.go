@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// insertSeries feeds a disordered series into one sensor and returns
+// the point count.
+func insertSeries(t *testing.T, e *Engine, n int) *dataset.Series {
+	t.Helper()
+	s := dataset.AbsNormal(n, 1, 2, 11)
+	for i := range s.Times {
+		if err := e.Insert("s", s.Times[i], s.Values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// checkQuery verifies a full-range query returns every point in order.
+func checkQuery(t *testing.T, e *Engine, s *dataset.Series) {
+	t.Helper()
+	out, err := e.Query("s", -1<<62, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(s.Times) {
+		t.Fatalf("query returned %d points, want %d", len(out), len(s.Times))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].T > out[i].T {
+			t.Fatalf("query result unsorted at %d", i)
+		}
+	}
+}
+
+// TestFlatSortRouting: with a low threshold every flush-time sort of a
+// large-enough chunk takes the kernel, and the data stays correct.
+func TestFlatSortRouting(t *testing.T) {
+	e := openTest(t, Config{MemTableSize: 500, FlatSortThreshold: 100, SortParallelism: 2})
+	s := insertSeries(t, e, 2500)
+	checkQuery(t, e, s)
+	st := e.Stats()
+	if st.FlatSorts == 0 {
+		t.Fatalf("threshold 100 with 500-point flushes routed no sorts through the kernel: %+v", st)
+	}
+	if st.FlatSortThreshold != 100 || st.SortParallelism != 2 {
+		t.Fatalf("stats do not echo config: threshold %d, parallelism %d", st.FlatSortThreshold, st.SortParallelism)
+	}
+	if st.FlatSortMillis < 0 {
+		t.Fatalf("negative flat sort time %v", st.FlatSortMillis)
+	}
+}
+
+// TestFlatSortDisabled: negative threshold pins every sort to the
+// interface path (the cmd/repro figure configuration).
+func TestFlatSortDisabled(t *testing.T) {
+	e := openTest(t, Config{MemTableSize: 500, FlatSortThreshold: -1})
+	s := insertSeries(t, e, 2500)
+	checkQuery(t, e, s)
+	st := e.Stats()
+	if st.FlatSorts != 0 {
+		t.Fatalf("disabled kernel still ran %d flat sorts", st.FlatSorts)
+	}
+	if st.InterfaceSorts == 0 {
+		t.Fatal("no interface sorts recorded")
+	}
+	if st.FlatSortThreshold != -1 {
+		t.Fatalf("stats threshold = %d, want -1", st.FlatSortThreshold)
+	}
+}
+
+// TestFlatSortBelowThreshold: chunks smaller than the threshold keep
+// the interface path even with the kernel enabled.
+func TestFlatSortBelowThreshold(t *testing.T) {
+	e := openTest(t, Config{MemTableSize: 500, FlatSortThreshold: 1 << 20})
+	s := insertSeries(t, e, 2500)
+	checkQuery(t, e, s)
+	st := e.Stats()
+	if st.FlatSorts != 0 {
+		t.Fatalf("sub-threshold chunks took the kernel %d times", st.FlatSorts)
+	}
+	if st.InterfaceSorts == 0 {
+		t.Fatal("no interface sorts recorded")
+	}
+}
+
+// TestFlatSortOnlyForBackward: the kernel monomorphizes the backward
+// algorithm specifically; other algorithms must stay on the interface
+// path regardless of threshold.
+func TestFlatSortOnlyForBackward(t *testing.T) {
+	e := openTest(t, Config{MemTableSize: 500, Algorithm: "tim", FlatSortThreshold: 1})
+	s := insertSeries(t, e, 2500)
+	checkQuery(t, e, s)
+	st := e.Stats()
+	if st.FlatSorts != 0 {
+		t.Fatalf("algorithm tim routed %d sorts through the backward kernel", st.FlatSorts)
+	}
+}
+
+// TestFlatSortResultsMatchInterface: same workload, kernel on vs off,
+// byte-identical query results.
+func TestFlatSortResultsMatchInterface(t *testing.T) {
+	run := func(threshold int) []TV {
+		e := openTest(t, Config{MemTableSize: 300, FlatSortThreshold: threshold})
+		insertSeries(t, e, 3000)
+		out, err := e.Query("s", -1<<62, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	flat := run(1)
+	iface := run(-1)
+	if len(flat) != len(iface) {
+		t.Fatalf("kernel and interface paths disagree on length: %d vs %d", len(flat), len(iface))
+	}
+	for i := range flat {
+		if flat[i] != iface[i] {
+			t.Fatalf("kernel and interface paths diverge at %d: %+v vs %+v", i, flat[i], iface[i])
+		}
+	}
+}

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tvlist"
 )
 
 // lockWaitBuckets is the histogram width: bucket 0 counts waits under
@@ -80,12 +82,30 @@ func (e *Engine) lockContended(isQuery bool) {
 	}
 }
 
-// noteSort feeds the sorted-flag shortcut counter: performed=false
-// means a TVList sort was skipped because the list was already in time
-// order (an earlier query or drain paid for it, or the data arrived
-// ordered).
-func (e *Engine) noteSort(performed bool) {
-	if !performed {
+// sortChunk orders one TVList, routing it through the contiguous flat
+// kernel when the engine's backward algorithm has one and the list is
+// big enough to amortize the coalesce/scatter copies, and through the
+// configured interface algorithm otherwise. It returns the elapsed
+// sort nanoseconds (0 when the sorted flag let the sort be skipped —
+// an earlier query or drain paid for it, or the data arrived ordered —
+// which feeds the SortsSkipped counter) and tallies per-path counts
+// and cumulative time for Stats.
+func (e *Engine) sortChunk(c *tvlist.TVList[float64]) int64 {
+	if c.Sorted() {
 		e.sortsSkipped.Add(1)
+		return 0
 	}
+	t0 := time.Now()
+	if e.useFlat && c.Len() >= e.flatThreshold {
+		c.EnsureSortedFlat(e.flatOpts)
+		d := int64(time.Since(t0))
+		e.flatSorts.Add(1)
+		e.flatSortNanos.Add(d)
+		return d
+	}
+	c.EnsureSorted(e.algo)
+	d := int64(time.Since(t0))
+	e.ifaceSorts.Add(1)
+	e.ifaceSortNanos.Add(d)
+	return d
 }

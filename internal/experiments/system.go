@@ -104,6 +104,10 @@ func runSystemCell(spec SystemSpec, pct float64, algo string, sc Scale) (bench.R
 		// what the paper benchmarked.
 		FlushWorkers:        1,
 		LegacyLockedQueries: true,
+		// The flat-sort kernel is disabled too: the reproduced figures
+		// measure the paper's algorithm through the TVList interface
+		// path, not this repository's devirtualized kernel.
+		FlatSortThreshold: -1,
 	})
 	if err != nil {
 		return bench.Result{}, err

@@ -186,6 +186,28 @@ func (c *Client) Stats() (engine.Stats, error) {
 	if st.P99LockWaitMicros, err = p.float64(); err != nil {
 		return st, err
 	}
+	if st.FlatSorts, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.InterfaceSorts, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.FlatSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.InterfaceSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	sp, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.SortParallelism = int(sp)
+	ft, err := p.varint()
+	if err != nil {
+		return st, err
+	}
+	st.FlatSortThreshold = int(ft)
 	return st, nil
 }
 

@@ -177,6 +177,12 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		resp = appendFloat64(resp, st.AvgLockWaitMicros)
 		resp = appendFloat64(resp, st.MaxLockWaitMicros)
 		resp = appendFloat64(resp, st.P99LockWaitMicros)
+		resp = binary.AppendVarint(resp, st.FlatSorts)
+		resp = binary.AppendVarint(resp, st.InterfaceSorts)
+		resp = appendFloat64(resp, st.FlatSortMillis)
+		resp = appendFloat64(resp, st.InterfaceSortMillis)
+		resp = binary.AppendVarint(resp, int64(st.SortParallelism))
+		resp = binary.AppendVarint(resp, int64(st.FlatSortThreshold))
 		return resp, nil
 
 	case OpFlush:

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tvlist
+
+const raceEnabled = false

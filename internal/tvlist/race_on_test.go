@@ -1,0 +1,7 @@
+//go:build race
+
+package tvlist
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow allocations break allocs-per-op assertions.
+const raceEnabled = true

@@ -108,11 +108,17 @@ func (l *TVList[V]) Move(src, dst int) {
 	l.values[bd][od] = l.values[bs][os]
 }
 
-// EnsureScratch implements core.Sortable.
+// EnsureScratch implements core.Sortable. Scratch grows geometrically
+// so a sequence of ever-larger merge overlaps costs O(log)
+// reallocations instead of one per request.
 func (l *TVList[V]) EnsureScratch(n int) {
 	if cap(l.scratchT) < n {
-		l.scratchT = make([]int64, n)
-		l.scratchV = make([]V, n)
+		c := 2 * cap(l.scratchT)
+		if c < n {
+			c = n
+		}
+		l.scratchT = make([]int64, c)
+		l.scratchV = make([]V, c)
 	}
 	l.scratchT = l.scratchT[:cap(l.scratchT)]
 	l.scratchV = l.scratchV[:cap(l.scratchV)]
@@ -226,12 +232,22 @@ func (l *TVList[V]) Clone() *TVList[V] {
 }
 
 // Reset empties the list but keeps its backing arrays for reuse,
-// mirroring IoTDB's array recycling between memtable generations.
+// mirroring IoTDB's array recycling between memtable generations. When
+// the value type can hold heap references (Text above all), the value
+// arrays are zeroed: a recycled list must not pin every string of the
+// previous generation until it happens to be overwritten. Scratch is
+// cleared under the same rule.
 func (l *TVList[V]) Reset() {
 	l.size = 0
 	l.sorted = true
 	l.minTime = math.MaxInt64
 	l.maxTime = math.MinInt64
+	if valuesHoldRefs[V]() {
+		for _, vs := range l.values {
+			clear(vs)
+		}
+		clear(l.scratchV)
+	}
 }
 
 // MemoryArrays reports how many backing arrays the list currently
