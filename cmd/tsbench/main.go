@@ -27,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/rpc"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -42,8 +43,9 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	devices := flag.Int("devices", 4, "simulated devices")
 	sensorsPerDevice := flag.Int("sensors-per-device", 1, "sensors (memtable chunks) per device")
-	memtable := flag.Int("memtable", 100000, "memtable flush threshold (points)")
-	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size for the in-process engine (0 = GOMAXPROCS)")
+	memtable := flag.Int("memtable", 100000, "memtable flush threshold (points, per shard)")
+	shards := flag.Int("shards", 1, "engine shards for the in-process engine: 1 = unsharded, N > 1 = hash-routed shards, 0 = GOMAXPROCS shards")
+	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size for the in-process engine, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers for the in-process engine (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
@@ -63,6 +65,7 @@ func main() {
 		mu: *mu, sigma: *sigma, writePct: *writePct,
 		ops: *ops, batch: *batch, clients: *clients, memtable: *memtable,
 		devices: *devices, sensorsPerDevice: *sensorsPerDevice,
+		shards:       *shards,
 		flushWorkers: *flushWorkers, sortParallelism: *sortParallelism,
 		flatThreshold: *flatThreshold, legacyLocking: *legacyLocking,
 	}
@@ -78,6 +81,7 @@ type cellConfig struct {
 	mu, sigma, writePct           float64
 	ops, batch, clients, memtable int
 	devices, sensorsPerDevice     int
+	shards                        int
 	flushWorkers                  int
 	sortParallelism               int
 	flatThreshold                 int
@@ -145,16 +149,26 @@ func runCell(cc cellConfig) error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		eng, err := engine.Open(engine.Config{
+		engCfg := engine.Config{
 			Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
 			FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
 			FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
-		})
-		if err != nil {
-			return err
 		}
-		defer eng.Close()
-		target = bench.EngineTarget{E: eng}
+		if cc.shards == 1 {
+			eng, err := engine.Open(engCfg)
+			if err != nil {
+				return err
+			}
+			defer eng.Close()
+			target = bench.EngineTarget{E: eng}
+		} else {
+			router, err := shard.Open(shard.Config{Config: engCfg, ShardCount: cc.shards})
+			if err != nil {
+				return err
+			}
+			defer router.Close()
+			target = bench.EngineTarget{E: router}
+		}
 	}
 	res, err := bench.Run(target, bench.Config{
 		WritePercent:     cc.writePct,
@@ -185,6 +199,13 @@ func runCell(cc cellConfig) error {
 		res.FlatSorts, res.FlatSortMillis, res.InterfaceSorts, res.InterfaceSortMillis,
 		res.SortParallelism, res.FlatSortThreshold)
 	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
+	if len(res.PerShard) > 0 {
+		fmt.Printf("  shards: %d\n", len(res.PerShard))
+		for i, s := range res.PerShard {
+			fmt.Printf("    shard %d: points=%d (seq=%d, unseq=%d) flushes=%d files=%d memtable=%d\n",
+				i, s.SeqPoints+s.UnseqPoints, s.SeqPoints, s.UnseqPoints, s.FlushCount, s.Files, s.MemTablePoints)
+		}
+	}
 	fmt.Printf("  total test latency: %v\n", res.TotalLatency)
 	return nil
 }

@@ -1,8 +1,12 @@
 // Command tsdbd runs the storage engine as a standalone TCP server, so
 // tsbench can drive it client-server the way IoTDB-benchmark drives an
-// IoTDB server.
+// IoTDB server. With -shards N (or -shards 0 for one per core) the
+// server runs the storage-group layer: sensors are hash-partitioned
+// across N independent engine shards, each with its own directory, WAL
+// and memtable budget, sharing one machine-wide flush worker bound.
 //
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -algo backward
+//	tsdbd -addr 127.0.0.1:6668 -dir ./data -shards 0   # GOMAXPROCS shards
 package main
 
 import (
@@ -14,16 +18,18 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/rpc"
+	"repro/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6668", "listen address")
 	dir := flag.String("dir", "", "data directory (required)")
 	algo := flag.String("algo", "backward", "sorting algorithm")
-	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points)")
+	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points, per shard)")
 	arrayLen := flag.Int("arraylen", 32, "TVList array length")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
-	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "engine shards: 1 = single unsharded engine (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards")
+	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
@@ -33,7 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsdbd: -dir is required")
 		os.Exit(2)
 	}
-	eng, err := engine.Open(engine.Config{
+	engCfg := engine.Config{
 		Dir:                 *dir,
 		MemTableSize:        *memtable,
 		ArrayLen:            *arrayLen,
@@ -43,18 +49,36 @@ func main() {
 		SortParallelism:     *sortParallelism,
 		FlatSortThreshold:   *flatThreshold,
 		LegacyLockedQueries: *legacyLocking,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
-		os.Exit(1)
 	}
-	srv := rpc.NewServer(eng)
+	// The backend is either one bare engine (-shards 1, the legacy
+	// flat directory layout) or the shard router; both implement the
+	// rpc server surface.
+	var backend rpc.Backend
+	var closeBackend func() error
+	shardCount := 1
+	if *shards == 1 {
+		eng, err := engine.Open(engCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
+			os.Exit(1)
+		}
+		backend, closeBackend = eng, eng.Close
+	} else {
+		router, err := shard.Open(shard.Config{Config: engCfg, ShardCount: *shards})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
+			os.Exit(1)
+		}
+		backend, closeBackend = router, router.Close
+		shardCount = router.ShardCount()
+	}
+	srv := rpc.NewServer(backend)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d)\n", bound, *algo, *memtable)
+	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d, shards=%d)\n", bound, *algo, *memtable, shardCount)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -63,7 +87,7 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: server close: %v\n", err)
 	}
-	if err := eng.Close(); err != nil {
+	if err := closeBackend(); err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: engine close: %v\n", err)
 		os.Exit(1)
 	}

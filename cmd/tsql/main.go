@@ -21,31 +21,46 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/shard"
 	"repro/internal/tsql"
 )
 
 func main() {
 	dir := flag.String("dir", "", "data directory (required)")
 	algo := flag.String("algo", "backward", "sorting algorithm")
-	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points)")
+	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points, per shard)")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
+	shards := flag.Int("shards", 1, "engine shards: 1 = unsharded (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards; STATS then prints the per-shard breakdown")
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "tsql: -dir is required")
 		os.Exit(2)
 	}
-	eng, err := engine.Open(engine.Config{
+	engCfg := engine.Config{
 		Dir:          *dir,
 		MemTableSize: *memtable,
 		Algorithm:    *algo,
 		WAL:          *walOn,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tsql: %v\n", err)
-		os.Exit(1)
 	}
-	defer eng.Close()
+	var eng tsql.Engine
+	var closeEng func() error
+	if *shards == 1 {
+		e, err := engine.Open(engCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsql: %v\n", err)
+			os.Exit(1)
+		}
+		eng, closeEng = e, e.Close
+	} else {
+		r, err := shard.Open(shard.Config{Config: engCfg, ShardCount: *shards})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsql: %v\n", err)
+			os.Exit(1)
+		}
+		eng, closeEng = r, r.Close
+	}
+	defer closeEng()
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)

@@ -40,8 +40,26 @@ type Target interface {
 	Stats() (engine.Stats, error)
 }
 
-// EngineTarget adapts *engine.Engine to Target.
-type EngineTarget struct{ E *engine.Engine }
+// ShardStatser is optionally implemented by targets that can report a
+// per-shard stats breakdown (the rpc client against a sharded server,
+// or EngineTarget over a shard router). A nil slice means the target
+// is unsharded.
+type ShardStatser interface {
+	ShardStats() ([]engine.Stats, error)
+}
+
+// LocalEngine is the in-process storage surface EngineTarget adapts —
+// a bare *engine.Engine or the shard router.
+type LocalEngine interface {
+	InsertBatch(sensor string, times []int64, values []float64) error
+	Query(sensor string, minT, maxT int64) ([]engine.TV, error)
+	LatestTime(sensor string) (int64, bool)
+	WaitFlushes()
+	Stats() engine.Stats
+}
+
+// EngineTarget adapts a local engine (or shard router) to Target.
+type EngineTarget struct{ E LocalEngine }
 
 // InsertBatch implements Target.
 func (t EngineTarget) InsertBatch(sensor string, ts []int64, vs []float64) error {
@@ -68,6 +86,15 @@ func (t EngineTarget) Settle() error {
 
 // Stats implements Target.
 func (t EngineTarget) Stats() (engine.Stats, error) { return t.E.Stats(), nil }
+
+// ShardStats implements ShardStatser: per-shard stats when the wrapped
+// engine is sharded, nil otherwise.
+func (t EngineTarget) ShardStats() ([]engine.Stats, error) {
+	if s, ok := t.E.(interface{ ShardStats() []engine.Stats }); ok {
+		return s.ShardStats(), nil
+	}
+	return nil, nil
+}
 
 // Config is one benchmark run.
 type Config struct {
@@ -174,6 +201,10 @@ type Result struct {
 	InterfaceSortMillis float64
 	SortParallelism     int
 	FlatSortThreshold   int
+	// PerShard holds the per-shard stats breakdown when the target is
+	// sharded (shard router in-process, or a sharded tsdbd over rpc);
+	// nil against an unsharded target.
+	PerShard []engine.Stats
 }
 
 // deviceStream hands out successive batches of one device's
@@ -378,5 +409,12 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.InterfaceSortMillis = st.InterfaceSortMillis
 	res.SortParallelism = st.SortParallelism
 	res.FlatSortThreshold = st.FlatSortThreshold
+	if ss, ok := target.(ShardStatser); ok {
+		per, err := ss.ShardStats()
+		if err != nil {
+			return res, err
+		}
+		res.PerShard = per
+	}
 	return res, nil
 }

@@ -94,6 +94,12 @@ type Config struct {
 	// replayed (and immediately flushed) on Open. Off by default —
 	// the paper's experiments do not exercise it.
 	WAL bool
+	// SharedPool, when set, replaces the engine's own flush worker
+	// pool with one shared across engines (the shard layer uses this
+	// so N shards stay within one machine-wide sort/encode bound).
+	// FlushWorkers is ignored then, and Close leaves the pool running
+	// for its owner to stop.
+	SharedPool *SharedFlushPool
 }
 
 // TV is one query result record.
@@ -141,9 +147,10 @@ type Stats struct {
 // Engine is the storage engine. All methods are safe for concurrent
 // use.
 type Engine struct {
-	cfg  Config
-	algo sortalgo.Func
-	pool *flushPool
+	cfg        Config
+	algo       sortalgo.Func
+	pool       *flushPool
+	poolShared bool // pool belongs to cfg.SharedPool's owner, not us
 
 	// Flat-kernel routing, resolved at Open: lists of at least
 	// flatThreshold records sort through tvlist.EnsureSortedFlat when
@@ -169,6 +176,8 @@ type Engine struct {
 	walSeq      int
 	walSeg      *wal.Segment // active segment covering the working memtables
 	closed      bool
+	closeDone   chan struct{} // closed when the winning Close finishes
+	closeErr    error         // the winning Close's result; read after closeDone
 
 	flushWG   sync.WaitGroup
 	compactMu sync.Mutex // serializes Compact calls
@@ -280,7 +289,6 @@ func Open(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:           cfg,
 		algo:          algo,
-		pool:          newFlushPool(workers),
 		useFlat:       flatThreshold > 0 && cfg.Algorithm == "backward",
 		flatThreshold: flatThreshold,
 		flatOpts:      core.FlatOptions{Parallelism: sortPar},
@@ -289,9 +297,15 @@ func Open(cfg Config) (*Engine, error) {
 		lastFlushed:   make(map[string]int64),
 		latest:        make(map[string]int64),
 	}
+	if cfg.SharedPool != nil {
+		e.pool = cfg.SharedPool.p
+		e.poolShared = true
+	} else {
+		e.pool = newFlushPool(workers)
+	}
 	opened := false
 	defer func() {
-		if !opened {
+		if !opened && !e.poolShared {
 			e.pool.close()
 		}
 	}()
@@ -920,22 +934,34 @@ func (e *Engine) FlushError() error {
 // Close flushes remaining data, waits for in-flight flushes, stops the
 // flush worker pool, and releases the engine's file references
 // (queries still reading a file keep it open until they finish).
+//
+// Close is safe to call concurrently: exactly one caller performs the
+// shutdown, and every other caller blocks until it has finished (and
+// returns the same result) rather than returning while flushes are
+// still draining.
 func (e *Engine) Close() error {
 	e.Flush()
 	e.mu.Lock()
 	if e.closed {
+		done := e.closeDone
 		e.mu.Unlock()
-		return nil
+		<-done
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+		return e.closeErr
 	}
 	e.closed = true
+	done := make(chan struct{})
+	e.closeDone = done
 	e.mu.Unlock()
 	// closed is set: no new drain can be registered, so the wait is
 	// complete and the pool can be stopped safely.
 	e.flushWG.Wait()
-	e.pool.close()
+	if !e.poolShared {
+		e.pool.close()
+	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	firstErr := e.FlushError()
 	if e.walSeg != nil {
 		// The active segment is empty (Flush above rotated the last
@@ -951,6 +977,12 @@ func (e *Engine) Close() error {
 		}
 	}
 	e.files = nil
+	e.mu.Unlock()
+
+	e.statsMu.Lock()
+	e.closeErr = firstErr
+	e.statsMu.Unlock()
+	close(done)
 	return firstErr
 }
 

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // flushPool is the engine's bounded worker pool for the CPU side of
 // flushing: sorting sensor chunks and encoding them into tsfile chunk
@@ -72,4 +75,33 @@ func (p *flushPool) close() {
 		p.wg.Wait()
 		p.jobs = nil
 	}
+}
+
+// SharedFlushPool is a sort/encode worker pool shared by several
+// engines — the shard layer hands one to every shard so N shards
+// cannot oversubscribe the machine with N independent GOMAXPROCS-sized
+// pools. An engine given a shared pool does not close it; the owner
+// (the shard router) closes it after every sharing engine has closed.
+type SharedFlushPool struct {
+	once sync.Once
+	p    *flushPool
+}
+
+// NewSharedFlushPool starts a shared pool with the given number of
+// workers (0 or less selects GOMAXPROCS, matching the engine's own
+// FlushWorkers default).
+func NewSharedFlushPool(workers int) *SharedFlushPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &SharedFlushPool{p: newFlushPool(workers)}
+}
+
+// Size reports the resolved worker count.
+func (s *SharedFlushPool) Size() int { return s.p.size }
+
+// Close stops the workers. Callers must guarantee every engine sharing
+// the pool has finished closing first. Safe to call more than once.
+func (s *SharedFlushPool) Close() {
+	s.once.Do(s.p.close)
 }

@@ -126,10 +126,17 @@ func finalize(w *WindowResult, agg Aggregator) {
 	}
 }
 
-// WindowQuery runs a time-range query on the engine and aggregates the
+// Source is anything that can answer sorted time-range queries — a
+// bare engine.Engine or the shard router, which fans the engine API
+// out over hash-partitioned shards.
+type Source interface {
+	Query(sensor string, minT, maxT int64) ([]engine.TV, error)
+}
+
+// WindowQuery runs a time-range query on the source and aggregates the
 // result — SELECT agg(value) FROM sensor WHERE startT <= time < endT
 // GROUP BY window.
-func WindowQuery(e *engine.Engine, sensor string, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
+func WindowQuery(e Source, sensor string, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
 	points, err := e.Query(sensor, startT, endT-1)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package rpc
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -15,24 +16,57 @@ import (
 // client; it satisfies bench.Target so benchmark workloads can run
 // client-server. Open several clients for concurrency.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu            sync.Mutex
+	conn          net.Conn
+	br            *bufio.Reader
+	bw            *bufio.Writer
+	serverVersion byte
 }
 
-// Dial connects to a server.
+// Dial connects to a server and performs the protocol handshake. A
+// peer that is not a tsdb server, or one whose protocol this client
+// cannot speak, fails here with a descriptive error instead of
+// misparsing frames later.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}, nil
+	}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
+
+// handshake exchanges magic + version with the server once per
+// connection.
+func (c *Client) handshake() error {
+	payload := append([]byte(nil), protocolMagic[:]...)
+	payload = append(payload, ProtocolVersion)
+	resp, err := c.call(OpHello, payload)
+	if err != nil {
+		if errors.Is(err, ErrRemote) {
+			// A version-1 server answers hello with "unknown opcode".
+			return fmt.Errorf("rpc: handshake failed — server predates protocol version %d? (%v)", ProtocolVersion, err)
+		}
+		return fmt.Errorf("rpc: handshake failed: %w", err)
+	}
+	if len(resp) < 5 || string(resp[:4]) != string(protocolMagic[:]) {
+		return fmt.Errorf("rpc: handshake reply malformed (not a tsdb server?)")
+	}
+	c.serverVersion = resp[4]
+	return nil
+}
+
+// ServerVersion reports the protocol version the server announced in
+// the handshake.
+func (c *Client) ServerVersion() byte { return c.serverVersion }
 
 // call performs one request/response exchange.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
@@ -122,93 +156,53 @@ func (c *Client) Latest(sensor string) (int64, bool, error) {
 	return t, okByte == 1, nil
 }
 
-// Stats implements bench.Target.
+// Stats implements bench.Target: it returns the server's aggregate
+// stats (merged across shards when the server is sharded).
 func (c *Client) Stats() (engine.Stats, error) {
-	var st engine.Stats
+	st, _, err := c.StatsFull()
+	return st, err
+}
+
+// ShardStats returns the server's per-shard stats breakdown, one entry
+// per shard in shard order. Empty against an unsharded (or legacy
+// version-1) server.
+func (c *Client) ShardStats() ([]engine.Stats, error) {
+	_, per, err := c.StatsFull()
+	return per, err
+}
+
+// StatsFull returns the aggregate stats and the per-shard breakdown
+// from a single OpStats exchange. A legacy (version-1) stats payload
+// carries no per-shard extension; the breakdown is nil then.
+func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	resp, err := c.call(OpStats, nil)
 	if err != nil {
-		return st, err
+		return engine.Stats{}, nil, err
 	}
 	p := &payloadReader{b: resp}
-	fc, err := p.varint()
+	st, err := p.stats()
 	if err != nil {
-		return st, err
+		return st, nil, err
 	}
-	st.FlushCount = int(fc)
-	if st.AvgFlushMillis, err = p.float64(); err != nil {
-		return st, err
+	if p.remaining() == 0 {
+		return st, nil, nil // legacy stats shape: no shard extension
 	}
-	if st.AvgSortMillis, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.SeqPoints, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.UnseqPoints, err = p.varint(); err != nil {
-		return st, err
-	}
-	files, err := p.varint()
+	n, err := p.uvarint()
 	if err != nil {
-		return st, err
+		return st, nil, err
 	}
-	st.Files = int(files)
-	mp, err := p.varint()
-	if err != nil {
-		return st, err
+	// Every stats block is well over 30 bytes; reject counts the frame
+	// cannot hold before allocating.
+	if n > uint64(p.remaining())/30+1 {
+		return st, nil, fmt.Errorf("rpc: shard count %d exceeds frame", n)
 	}
-	st.MemTablePoints = int(mp)
-	fw, err := p.varint()
-	if err != nil {
-		return st, err
+	per := make([]engine.Stats, n)
+	for i := range per {
+		if per[i], err = p.stats(); err != nil {
+			return st, nil, err
+		}
 	}
-	st.FlushWorkers = int(fw)
-	if st.SortsSkipped, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.LockWaits, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.QueriesBlocked, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.AvgEncodeMillis, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.AvgWriteMillis, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.AvgLockWaitMicros, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.MaxLockWaitMicros, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.P99LockWaitMicros, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.FlatSorts, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.InterfaceSorts, err = p.varint(); err != nil {
-		return st, err
-	}
-	if st.FlatSortMillis, err = p.float64(); err != nil {
-		return st, err
-	}
-	if st.InterfaceSortMillis, err = p.float64(); err != nil {
-		return st, err
-	}
-	sp, err := p.varint()
-	if err != nil {
-		return st, err
-	}
-	st.SortParallelism = int(sp)
-	ft, err := p.varint()
-	if err != nil {
-		return st, err
-	}
-	st.FlatSortThreshold = int(ft)
-	return st, nil
+	return st, per, nil
 }
 
 // Flush forces a server-side flush.

@@ -1,0 +1,263 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// rawDial opens a connection that skips the Client handshake, so tests
+// can speak arbitrary first frames at the server.
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader, *bufio.Writer) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn), bufio.NewWriter(conn)
+}
+
+func rawCall(t *testing.T, br *bufio.Reader, bw *bufio.Writer, op byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	if err := writeFrame(bw, op, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return status, resp
+}
+
+// TestHandshakeRequiredFirst: a client that opens with any opcode other
+// than OpHello (a pre-version-2 client) gets a descriptive error on its
+// first exchange, and the server drops the connection.
+func TestHandshakeRequiredFirst(t *testing.T) {
+	_, addr := startServer(t)
+	_, br, bw := rawDial(t, addr)
+	status, resp := rawCall(t, br, bw, OpStats, nil)
+	if status == 0 {
+		t.Fatal("pre-handshake OpStats accepted")
+	}
+	if !strings.Contains(string(resp), "handshake required") {
+		t.Fatalf("error not descriptive: %q", resp)
+	}
+	// The server hangs up after a failed handshake: the next read sees
+	// EOF, not another response.
+	if err := writeFrame(bw, OpStats, nil); err == nil {
+		bw.Flush()
+	}
+	if _, _, err := readFrame(br); !errors.Is(err, io.EOF) && err == nil {
+		t.Fatal("connection survived a failed handshake")
+	}
+}
+
+// TestHandshakeBadMagic: a hello carrying the wrong magic (some other
+// protocol probing the port) is refused and the connection dropped.
+func TestHandshakeBadMagic(t *testing.T) {
+	_, addr := startServer(t)
+	_, br, bw := rawDial(t, addr)
+	status, resp := rawCall(t, br, bw, OpHello, []byte{'H', 'T', 'T', 'P', 1})
+	if status == 0 {
+		t.Fatal("bad magic accepted")
+	}
+	if !strings.Contains(string(resp), "magic") {
+		t.Fatalf("error not descriptive: %q", resp)
+	}
+}
+
+// TestHandshakeRejectsShortAndZero: truncated hello payloads and
+// version 0 are refused.
+func TestHandshakeRejectsShortAndZero(t *testing.T) {
+	_, addr := startServer(t)
+	for _, payload := range [][]byte{nil, protocolMagic[:3], append(append([]byte(nil), protocolMagic[:]...), 0)} {
+		_, br, bw := rawDial(t, addr)
+		if status, _ := rawCall(t, br, bw, OpHello, payload); status == 0 {
+			t.Fatalf("hello payload %v accepted", payload)
+		}
+	}
+}
+
+// TestHandshakeVersionReported: a well-formed hello succeeds and the
+// Dial-level client records the server's announced version.
+func TestHandshakeVersionReported(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ServerVersion(); v != ProtocolVersion {
+		t.Fatalf("server version = %d, want %d", v, ProtocolVersion)
+	}
+}
+
+// TestShardStatsOverRPC: against a sharded backend, StatsFull carries
+// the merged aggregate plus one stats block per shard, and the
+// aggregate's counters equal the sum of the per-shard counters.
+func TestShardStatsOverRPC(t *testing.T) {
+	r, err := shard.Open(shard.Config{ShardCount: 4, Config: engine.Config{
+		Dir:          t.TempDir(),
+		MemTableSize: 1000,
+		SyncFlush:    true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		r.Close()
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for d := 0; d < 8; d++ {
+		sensor := "d" + string(rune('0'+d)) + ".s0"
+		if err := c.InsertBatch(sensor, []int64{3, 1, 2}, []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	agg, per, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("per-shard blocks = %d, want 4", len(per))
+	}
+	var sum int64
+	for _, st := range per {
+		sum += st.SeqPoints + st.UnseqPoints
+	}
+	if agg.SeqPoints+agg.UnseqPoints != sum || sum != 24 {
+		t.Fatalf("aggregate %d vs per-shard sum %d (want 24)", agg.SeqPoints+agg.UnseqPoints, sum)
+	}
+	// The convenience accessor returns the same breakdown.
+	per2, err := c.ShardStats()
+	if err != nil || len(per2) != 4 {
+		t.Fatalf("ShardStats = %d blocks, %v", len(per2), err)
+	}
+}
+
+// TestUnshardedStatsEmptyBreakdown: a bare-engine server encodes a
+// zero-length shard extension; clients see an empty breakdown.
+func TestUnshardedStatsEmptyBreakdown(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, per, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 0 {
+		t.Fatalf("unsharded server reported %d shards", len(per))
+	}
+}
+
+// TestLegacyStatsShapeParsed: a version-1 server's OpStats payload ends
+// after the aggregate block (no shard extension). The client must parse
+// it as aggregate-only rather than erroring on the missing extension.
+// Simulated with a hand-rolled server speaking the old shape.
+func TestLegacyStatsShapeParsed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	want := engine.Stats{FlushCount: 7, SeqPoints: 123, UnseqPoints: 45, Files: 2, FlushWorkers: 1}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		for {
+			op, _, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			var resp []byte
+			switch op {
+			case OpHello:
+				// Answer hello normally so Dial succeeds; only the stats
+				// payload is legacy-shaped.
+				resp = append(append([]byte(nil), protocolMagic[:]...), 1)
+			case OpStats:
+				resp = appendStats(nil, want) // v1: no shard extension
+			}
+			if writeFrame(bw, 0, resp) != nil || bw.Flush() != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ServerVersion(); v != 1 {
+		t.Fatalf("server version = %d, want 1", v)
+	}
+	st, per, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != nil {
+		t.Fatalf("legacy payload produced a shard breakdown: %+v", per)
+	}
+	if st != want {
+		t.Fatalf("legacy stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestStatsRoundTrip: appendStats/stats are inverses for a fully
+// populated Stats value — a new field added to one side but not the
+// other shows up here.
+func TestStatsRoundTrip(t *testing.T) {
+	want := engine.Stats{
+		FlushCount: 1, AvgFlushMillis: 2.5, AvgSortMillis: 0.5,
+		SeqPoints: 3, UnseqPoints: 4, Files: 5, MemTablePoints: 6,
+		FlushWorkers: 7, SortsSkipped: 8, LockWaits: 9, QueriesBlocked: 10,
+		AvgEncodeMillis: 1.25, AvgWriteMillis: 0.75, AvgLockWaitMicros: 11.5,
+		MaxLockWaitMicros: 12, P99LockWaitMicros: 13,
+		FlatSorts: 14, InterfaceSorts: 15, FlatSortMillis: 16.5,
+		InterfaceSortMillis: 17.5, SortParallelism: 18, FlatSortThreshold: 19,
+	}
+	p := &payloadReader{b: appendStats(nil, want)}
+	got, err := p.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	if p.remaining() != 0 {
+		t.Fatalf("%d trailing bytes after stats block", p.remaining())
+	}
+}

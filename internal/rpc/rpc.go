@@ -10,6 +10,21 @@
 // little-endian float64 values. One connection carries one
 // request/response exchange at a time; clients open several
 // connections for concurrency.
+//
+// Every connection starts with a handshake: the client's first frame
+// must be OpHello carrying the 4-byte magic and its protocol version;
+// the server verifies the magic and replies with its own. A
+// mixed-version or non-protocol peer therefore fails on the first
+// exchange with a descriptive error instead of misparsing later
+// frames. Version history:
+//
+//	1 — original framing (no handshake; OpStats carries the flat
+//	    engine stats block only)
+//	2 — handshake required; OpStats appends a per-shard extension:
+//	    uvarint shard count followed by that many stats blocks
+//
+// A version-2 client still reads the version-1 stats shape: the
+// per-shard extension is detected by remaining payload bytes.
 package rpc
 
 import (
@@ -18,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/engine"
 )
 
 // Opcodes.
@@ -25,11 +42,21 @@ const (
 	OpInsert byte = 1 // sensor, n, n*(varint delta-less time, float64)
 	OpQuery  byte = 2 // sensor, minT, maxT -> n, n*(time, value)
 	OpLatest byte = 3 // sensor -> bool, time
-	OpStats  byte = 4 // -> stats struct
+	OpStats  byte = 4 // -> stats block [+ uvarint shard count, shard stats blocks]
 	OpFlush  byte = 5 // force flush
 	OpWait   byte = 6 // wait for in-flight background flushes
 	OpAgg    byte = 7 // sensor, startT, endT, window, agg -> windows
+	OpHello  byte = 8 // magic, version -> magic, server version
 )
+
+// ProtocolVersion is the version byte this build speaks. Bump it when
+// the wire format changes shape; the handshake surfaces the mismatch.
+const ProtocolVersion = 2
+
+// protocolMagic opens every handshake payload. Four printable bytes so
+// an accidental connection from an unrelated protocol is rejected with
+// a clear error rather than a frame-length explosion.
+var protocolMagic = [4]byte{'G', 'T', 'S', 'D'}
 
 // MaxFrame bounds a frame to keep a malformed peer from forcing a
 // giant allocation. 16 MiB fits > one million points per batch.
@@ -121,4 +148,105 @@ func (p *payloadReader) float64() (float64, error) {
 	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b[p.pos:]))
 	p.pos += 8
 	return v, nil
+}
+
+// remaining reports how many undecoded payload bytes are left.
+func (p *payloadReader) remaining() int { return len(p.b) - p.pos }
+
+// appendStats encodes one engine stats snapshot. The field order is
+// the version-1 OpStats payload and must never change — version-2
+// payloads repeat the same block per shard after the aggregate.
+func appendStats(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, int64(st.FlushCount))
+	b = appendFloat64(b, st.AvgFlushMillis)
+	b = appendFloat64(b, st.AvgSortMillis)
+	b = binary.AppendVarint(b, st.SeqPoints)
+	b = binary.AppendVarint(b, st.UnseqPoints)
+	b = binary.AppendVarint(b, int64(st.Files))
+	b = binary.AppendVarint(b, int64(st.MemTablePoints))
+	b = binary.AppendVarint(b, int64(st.FlushWorkers))
+	b = binary.AppendVarint(b, st.SortsSkipped)
+	b = binary.AppendVarint(b, st.LockWaits)
+	b = binary.AppendVarint(b, st.QueriesBlocked)
+	b = appendFloat64(b, st.AvgEncodeMillis)
+	b = appendFloat64(b, st.AvgWriteMillis)
+	b = appendFloat64(b, st.AvgLockWaitMicros)
+	b = appendFloat64(b, st.MaxLockWaitMicros)
+	b = appendFloat64(b, st.P99LockWaitMicros)
+	b = binary.AppendVarint(b, st.FlatSorts)
+	b = binary.AppendVarint(b, st.InterfaceSorts)
+	b = appendFloat64(b, st.FlatSortMillis)
+	b = appendFloat64(b, st.InterfaceSortMillis)
+	b = binary.AppendVarint(b, int64(st.SortParallelism))
+	b = binary.AppendVarint(b, int64(st.FlatSortThreshold))
+	return b
+}
+
+// stats decodes one engine stats block (the inverse of appendStats).
+func (p *payloadReader) stats() (engine.Stats, error) {
+	var st engine.Stats
+	for _, dst := range []*int{&st.FlushCount} {
+		v, err := p.varint()
+		if err != nil {
+			return st, err
+		}
+		*dst = int(v)
+	}
+	var err error
+	if st.AvgFlushMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.AvgSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.SeqPoints, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.UnseqPoints, err = p.varint(); err != nil {
+		return st, err
+	}
+	for _, dst := range []*int{&st.Files, &st.MemTablePoints, &st.FlushWorkers} {
+		v, err := p.varint()
+		if err != nil {
+			return st, err
+		}
+		*dst = int(v)
+	}
+	if st.SortsSkipped, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.LockWaits, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.QueriesBlocked, err = p.varint(); err != nil {
+		return st, err
+	}
+	for _, dst := range []*float64{
+		&st.AvgEncodeMillis, &st.AvgWriteMillis,
+		&st.AvgLockWaitMicros, &st.MaxLockWaitMicros, &st.P99LockWaitMicros,
+	} {
+		if *dst, err = p.float64(); err != nil {
+			return st, err
+		}
+	}
+	if st.FlatSorts, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.InterfaceSorts, err = p.varint(); err != nil {
+		return st, err
+	}
+	if st.FlatSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	if st.InterfaceSortMillis, err = p.float64(); err != nil {
+		return st, err
+	}
+	for _, dst := range []*int{&st.SortParallelism, &st.FlatSortThreshold} {
+		v, err := p.varint()
+		if err != nil {
+			return st, err
+		}
+		*dst = int(v)
+	}
+	return st, nil
 }

@@ -12,9 +12,29 @@ import (
 	"repro/internal/query"
 )
 
-// Server exposes an engine over TCP.
+// Backend is the storage surface the server dispatches onto — a bare
+// *engine.Engine or the shard router, which fans the same API out over
+// hash-partitioned shards.
+type Backend interface {
+	InsertBatch(sensor string, times []int64, values []float64) error
+	Query(sensor string, minT, maxT int64) ([]engine.TV, error)
+	LatestTime(sensor string) (int64, bool)
+	Stats() engine.Stats
+	Flush()
+	WaitFlushes()
+}
+
+// shardedBackend is optionally implemented by backends that hold
+// per-shard state (the shard router): StatsAll returns the merged
+// aggregate and the per-shard snapshots from one collection pass, so
+// the OpStats payload is internally consistent.
+type shardedBackend interface {
+	StatsAll() (engine.Stats, []engine.Stats)
+}
+
+// Server exposes a backend over TCP.
 type Server struct {
-	eng *engine.Engine
+	eng Backend
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -23,8 +43,8 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps an engine.
-func NewServer(eng *engine.Engine) *Server {
+// NewServer wraps a backend (an engine or a shard router).
+func NewServer(eng Backend) *Server {
 	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
 }
 
@@ -73,22 +93,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	for {
+	for first := true; ; first = false {
 		op, payload, err := readFrame(br)
 		if err != nil {
 			return // client went away or sent garbage
 		}
-		resp, err := s.dispatch(op, payload)
+		var resp []byte
+		var derr error
+		if first && op != OpHello {
+			// Pre-handshake clients would misparse version-2 payloads;
+			// refuse them with a message they can still decode (the
+			// response framing is unchanged across versions).
+			derr = fmt.Errorf("rpc: handshake required: server speaks protocol version %d, client sent opcode %d first (older client?)",
+				ProtocolVersion, op)
+		} else {
+			resp, derr = s.dispatch(op, payload)
+		}
 		status := byte(0)
-		if err != nil {
+		if derr != nil {
 			status = 1
-			resp = []byte(err.Error())
+			resp = []byte(derr.Error())
 		}
 		if err := writeFrame(bw, status, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		if first && derr != nil {
+			return // failed handshake: drop the connection
 		}
 	}
 }
@@ -160,30 +193,35 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		return binary.AppendVarint(resp, t), nil
 
 	case OpStats:
-		st := s.eng.Stats()
-		resp := binary.AppendVarint(nil, int64(st.FlushCount))
-		resp = appendFloat64(resp, st.AvgFlushMillis)
-		resp = appendFloat64(resp, st.AvgSortMillis)
-		resp = binary.AppendVarint(resp, st.SeqPoints)
-		resp = binary.AppendVarint(resp, st.UnseqPoints)
-		resp = binary.AppendVarint(resp, int64(st.Files))
-		resp = binary.AppendVarint(resp, int64(st.MemTablePoints))
-		resp = binary.AppendVarint(resp, int64(st.FlushWorkers))
-		resp = binary.AppendVarint(resp, st.SortsSkipped)
-		resp = binary.AppendVarint(resp, st.LockWaits)
-		resp = binary.AppendVarint(resp, st.QueriesBlocked)
-		resp = appendFloat64(resp, st.AvgEncodeMillis)
-		resp = appendFloat64(resp, st.AvgWriteMillis)
-		resp = appendFloat64(resp, st.AvgLockWaitMicros)
-		resp = appendFloat64(resp, st.MaxLockWaitMicros)
-		resp = appendFloat64(resp, st.P99LockWaitMicros)
-		resp = binary.AppendVarint(resp, st.FlatSorts)
-		resp = binary.AppendVarint(resp, st.InterfaceSorts)
-		resp = appendFloat64(resp, st.FlatSortMillis)
-		resp = appendFloat64(resp, st.InterfaceSortMillis)
-		resp = binary.AppendVarint(resp, int64(st.SortParallelism))
-		resp = binary.AppendVarint(resp, int64(st.FlatSortThreshold))
+		// Aggregate stats in the version-1 block layout, then the
+		// version-2 per-shard extension (absent shards encode as 0, so
+		// clients against a bare engine see an empty breakdown).
+		var resp []byte
+		if sb, ok := s.eng.(shardedBackend); ok {
+			merged, per := sb.StatsAll()
+			resp = appendStats(nil, merged)
+			resp = binary.AppendUvarint(resp, uint64(len(per)))
+			for _, shardStats := range per {
+				resp = appendStats(resp, shardStats)
+			}
+		} else {
+			resp = appendStats(nil, s.eng.Stats())
+			resp = binary.AppendUvarint(resp, 0)
+		}
 		return resp, nil
+
+	case OpHello:
+		if len(payload) < 5 {
+			return nil, fmt.Errorf("rpc: short handshake payload (%d bytes)", len(payload))
+		}
+		if string(payload[:4]) != string(protocolMagic[:]) {
+			return nil, fmt.Errorf("rpc: bad handshake magic %q (not a tsdb client?)", payload[:4])
+		}
+		if payload[4] == 0 {
+			return nil, fmt.Errorf("rpc: invalid protocol version 0")
+		}
+		resp := append([]byte(nil), protocolMagic[:]...)
+		return append(resp, ProtocolVersion), nil
 
 	case OpFlush:
 		s.eng.Flush()

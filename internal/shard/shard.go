@@ -1,0 +1,351 @@
+// Package shard implements the storage-group layer: a Router that
+// hash-partitions sensors across N independent engine.Engine instances
+// ("shards"), the way IoTDB deployments partition series into storage
+// groups so ingestion, flushing and recovery scale across cores and
+// directories. Each shard owns its own data directory (shard-%03d/
+// under the router root), its own WAL segments and its own memtable
+// budget; one machine-wide sort/encode worker pool is shared by every
+// shard so N shards cannot oversubscribe the CPU.
+//
+// Routing is FNV-1a over the sensor id, modulo the shard count — a
+// pure function of (sensor, N), so the same sensor lands on the same
+// shard across restarts as long as N is unchanged (Open rejects a
+// directory whose recorded layout disagrees with the requested count).
+//
+// The Router exposes the full engine surface. Single-sensor operations
+// (Insert, InsertBatch, Query, LatestTime, Aggregate) go to the owning
+// shard only; engine-wide operations (Flush, WaitFlushes, Compact,
+// Close) fan out to every shard in parallel and return the first error
+// by shard order; Stats merges per-shard snapshots into one aggregate
+// while keeping the per-shard breakdown available via ShardStats.
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Config configures a Router. The embedded engine.Config is the
+// per-shard template: Dir is the router's root directory (each shard
+// lives in Dir/shard-%03d), MemTableSize is the per-shard flush
+// threshold, and the remaining fields apply to every shard verbatim.
+// SharedPool and FlushWorkers interact as follows: the router always
+// builds one engine.SharedFlushPool of FlushWorkers workers (default
+// GOMAXPROCS) and hands it to every shard, so the flush-concurrency
+// bound is global, not per shard.
+type Config struct {
+	engine.Config
+	// ShardCount is the number of engine shards (default GOMAXPROCS).
+	// It must match the layout of an existing data directory.
+	ShardCount int
+}
+
+// Router fans the engine API out over hash-partitioned shards. All
+// methods are safe for concurrent use.
+type Router struct {
+	cfg    Config
+	shards []*engine.Engine
+	pool   *engine.SharedFlushPool
+}
+
+// shardDirFmt is the per-shard directory name layout under the root.
+const shardDirFmt = "shard-%03d"
+
+// Index returns the shard index FNV-1a assigns to sensor among n
+// shards. It is exported so tests (and operators reading per-shard
+// stats) can predict placement; the function is stable — changing it
+// would orphan existing data directories.
+func Index(sensor string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sensor); i++ {
+		h ^= uint64(sensor[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Open creates or reopens a sharded store rooted at cfg.Dir. Shards
+// are opened concurrently, so per-shard WAL recovery (when
+// cfg.WAL is set) runs in parallel too. Reopening a directory with a
+// different ShardCount fails: hash routing is stable only for a fixed
+// N, so a mismatch would silently strand data on unreachable shards.
+func Open(cfg Config) (*Router, error) {
+	if cfg.ShardCount < 0 {
+		return nil, fmt.Errorf("shard: ShardCount must be positive, got %d", cfg.ShardCount)
+	}
+	if cfg.ShardCount == 0 {
+		cfg.ShardCount = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shard: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if existing, err := countShardDirs(cfg.Dir); err != nil {
+		return nil, err
+	} else if existing > 0 && existing != cfg.ShardCount {
+		return nil, fmt.Errorf("shard: directory %s holds %d shard(s) but %d requested; routing would not be stable",
+			cfg.Dir, existing, cfg.ShardCount)
+	}
+
+	r := &Router{
+		cfg:    cfg,
+		shards: make([]*engine.Engine, cfg.ShardCount),
+		pool:   engine.NewSharedFlushPool(cfg.FlushWorkers),
+	}
+	errs := make([]error, cfg.ShardCount)
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardCfg := cfg.Config
+			shardCfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf(shardDirFmt, i))
+			shardCfg.SharedPool = r.pool
+			r.shards[i], errs[i] = engine.Open(shardCfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Close whatever did open, then surface the first failure.
+			for _, e := range r.shards {
+				if e != nil {
+					e.Close()
+				}
+			}
+			r.pool.Close()
+			return nil, fmt.Errorf("shard: open: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// countShardDirs counts shard-%03d subdirectories under root.
+func countShardDirs(root string) (int, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "shard-") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ShardCount returns the number of shards.
+func (r *Router) ShardCount() int { return len(r.shards) }
+
+// shardFor returns the engine owning sensor.
+func (r *Router) shardFor(sensor string) *engine.Engine {
+	return r.shards[Index(sensor, len(r.shards))]
+}
+
+// Insert ingests one point, routed to the sensor's shard.
+func (r *Router) Insert(sensor string, t int64, v float64) error {
+	return r.shardFor(sensor).Insert(sensor, t, v)
+}
+
+// InsertBatch ingests a batch for one sensor, routed to its shard.
+func (r *Router) InsertBatch(sensor string, times []int64, values []float64) error {
+	return r.shardFor(sensor).InsertBatch(sensor, times, values)
+}
+
+// Query returns sensor's records in [minT, maxT] from its shard.
+func (r *Router) Query(sensor string, minT, maxT int64) ([]engine.TV, error) {
+	return r.shardFor(sensor).Query(sensor, minT, maxT)
+}
+
+// LatestTime returns the newest ingested timestamp for sensor.
+func (r *Router) LatestTime(sensor string) (int64, bool) {
+	return r.shardFor(sensor).LatestTime(sensor)
+}
+
+// Aggregate runs a windowed aggregation over sensor on its shard:
+// SELECT agg(value) GROUP BY window over [startT, endT).
+func (r *Router) Aggregate(sensor string, startT, endT, window int64, agg query.Aggregator) ([]query.WindowResult, error) {
+	return query.WindowQuery(r.shardFor(sensor), sensor, startT, endT, window, agg)
+}
+
+// fanOut runs f on every shard concurrently and returns the first
+// error by shard order.
+func (r *Router) fanOut(f func(*engine.Engine) error) error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, e := range r.shards {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			errs[i] = f(e)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces every shard's working memtables to disk, in parallel.
+func (r *Router) Flush() {
+	r.fanOut(func(e *engine.Engine) error {
+		e.Flush()
+		return nil
+	})
+}
+
+// WaitFlushes blocks until every shard's in-flight background flushes
+// have finished.
+func (r *Router) WaitFlushes() {
+	r.fanOut(func(e *engine.Engine) error {
+		e.WaitFlushes()
+		return nil
+	})
+}
+
+// Compact folds every shard's flushed files, in parallel, returning
+// the first error by shard order.
+func (r *Router) Compact() error {
+	return r.fanOut((*engine.Engine).Compact)
+}
+
+// FlushError returns the first recorded background flush failure
+// across the shards, by shard order.
+func (r *Router) FlushError() error {
+	for _, e := range r.shards {
+		if err := e.FlushError(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileCount reports the total flushed-file count across shards.
+func (r *Router) FileCount() int {
+	n := 0
+	for _, e := range r.shards {
+		n += e.FileCount()
+	}
+	return n
+}
+
+// Close closes every shard in parallel (each flushes its remaining
+// data and waits out its drains), then stops the shared flush pool.
+// The first per-shard error by shard order is returned. Safe to call
+// more than once and concurrently, like engine.Close.
+func (r *Router) Close() error {
+	err := r.fanOut((*engine.Engine).Close)
+	// All shards are closed: no drain can submit pool work anymore.
+	r.pool.Close()
+	return err
+}
+
+// Stats returns one aggregate snapshot merged across the shards (same
+// shape an unsharded engine reports, so every existing consumer keeps
+// working). Use ShardStats for the per-shard breakdown.
+func (r *Router) Stats() engine.Stats {
+	return MergeStats(r.ShardStats())
+}
+
+// StatsAll returns the merged aggregate and the per-shard snapshots
+// from one collection pass, so the two views describe the same instant
+// (the rpc server uses this for the OpStats payload).
+func (r *Router) StatsAll() (engine.Stats, []engine.Stats) {
+	per := r.ShardStats()
+	return MergeStats(per), per
+}
+
+// ShardStats returns one stats snapshot per shard, indexed by shard.
+func (r *Router) ShardStats() []engine.Stats {
+	out := make([]engine.Stats, len(r.shards))
+	var wg sync.WaitGroup
+	for i, e := range r.shards {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			out[i] = e.Stats()
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}
+
+// Algorithm returns the shards' configured sorting algorithm name.
+func (r *Router) Algorithm() string { return r.shards[0].Algorithm() }
+
+// MergeStats folds per-shard snapshots into one engine-shaped
+// aggregate: counters sum; per-flush averages are weighted by each
+// shard's flush count and per-wait averages by its wait count; the max
+// lock wait is the max across shards, and the aggregate p99 is the
+// worst per-shard p99 (a conservative upper bound — exact cross-shard
+// percentiles would need the raw histograms). Configuration echoes
+// (workers, thresholds) come from the first shard, which all shards
+// share.
+func MergeStats(per []engine.Stats) engine.Stats {
+	var m engine.Stats
+	if len(per) == 0 {
+		return m
+	}
+	m.FlushWorkers = per[0].FlushWorkers
+	m.SortParallelism = per[0].SortParallelism
+	m.FlatSortThreshold = per[0].FlatSortThreshold
+	var flushWeight, lockWeight float64
+	for _, s := range per {
+		m.FlushCount += s.FlushCount
+		m.SeqPoints += s.SeqPoints
+		m.UnseqPoints += s.UnseqPoints
+		m.Files += s.Files
+		m.MemTablePoints += s.MemTablePoints
+		m.SortsSkipped += s.SortsSkipped
+		m.FlatSorts += s.FlatSorts
+		m.InterfaceSorts += s.InterfaceSorts
+		m.FlatSortMillis += s.FlatSortMillis
+		m.InterfaceSortMillis += s.InterfaceSortMillis
+		m.LockWaits += s.LockWaits
+		m.QueriesBlocked += s.QueriesBlocked
+
+		w := float64(s.FlushCount)
+		flushWeight += w
+		m.AvgFlushMillis += s.AvgFlushMillis * w
+		m.AvgSortMillis += s.AvgSortMillis * w
+		m.AvgEncodeMillis += s.AvgEncodeMillis * w
+		m.AvgWriteMillis += s.AvgWriteMillis * w
+
+		lw := float64(s.LockWaits)
+		lockWeight += lw
+		m.AvgLockWaitMicros += s.AvgLockWaitMicros * lw
+		if s.MaxLockWaitMicros > m.MaxLockWaitMicros {
+			m.MaxLockWaitMicros = s.MaxLockWaitMicros
+		}
+		if s.P99LockWaitMicros > m.P99LockWaitMicros {
+			m.P99LockWaitMicros = s.P99LockWaitMicros
+		}
+	}
+	if flushWeight > 0 {
+		m.AvgFlushMillis /= flushWeight
+		m.AvgSortMillis /= flushWeight
+		m.AvgEncodeMillis /= flushWeight
+		m.AvgWriteMillis /= flushWeight
+	}
+	if lockWeight > 0 {
+		m.AvgLockWaitMicros /= lockWeight
+	}
+	return m
+}

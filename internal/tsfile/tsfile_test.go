@@ -313,7 +313,7 @@ func TestEncodeAppendMatchesWriteChunk(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	staged := tmpPath2(t)
+	staged := tmpPath(t)
 	// Encode out of append order — Offset is only assigned at append.
 	encB, err := EncodeChunk("b", times2, vals2)
 	if err != nil {
@@ -368,9 +368,4 @@ func TestEncodeChunkValidation(t *testing.T) {
 	if _, err := EncodeChunk("s", []int64{2, 1}, []float64{1, 2}); err == nil {
 		t.Fatal("unsorted times should fail")
 	}
-}
-
-func tmpPath2(t *testing.T) string {
-	t.Helper()
-	return filepath.Join(t.TempDir(), "test2.gtsf")
 }

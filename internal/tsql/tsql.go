@@ -11,8 +11,8 @@
 //	FLUSH | COMPACT | STATS
 //
 // Statements parse into a Statement tree and execute against an
-// engine.Engine; parsing and execution are separate so both are
-// testable.
+// Engine (a bare engine.Engine or the shard router); parsing and
+// execution are separate so both are testable.
 package tsql
 
 import (
@@ -303,8 +303,25 @@ type Result struct {
 	Message string // for statements without rows
 }
 
+// Engine is the storage surface statements execute against — a bare
+// *engine.Engine or the shard router.
+type Engine interface {
+	InsertBatch(sensor string, times []int64, values []float64) error
+	Query(sensor string, minT, maxT int64) ([]engine.TV, error)
+	Flush()
+	Compact() error
+	FileCount() int
+	Stats() engine.Stats
+}
+
+// shardStatser is optionally implemented by sharded engines; STATS
+// prints the per-shard breakdown when it is.
+type shardStatser interface {
+	StatsAll() (engine.Stats, []engine.Stats)
+}
+
 // Execute runs a parsed statement against the engine.
-func Execute(e *engine.Engine, st *Statement) (*Result, error) {
+func Execute(e Engine, st *Statement) (*Result, error) {
 	switch st.Kind {
 	case KindInsert:
 		if err := e.InsertBatch(st.Sensor, st.Times, st.Values); err != nil {
@@ -323,18 +340,22 @@ func Execute(e *engine.Engine, st *Statement) (*Result, error) {
 		return &Result{Message: fmt.Sprintf("compacted to %d file(s)", e.FileCount())}, nil
 
 	case KindStats:
-		s := e.Stats()
+		if sh, ok := e.(shardStatser); ok {
+			// Sharded engine: one aggregate row, then the per-shard
+			// breakdown from the same collection pass.
+			merged, per := sh.StatsAll()
+			res := &Result{
+				Columns: []string{"shard", "flushes", "avg_flush_ms", "avg_sort_ms", "seq_points", "unseq_points", "files", "memtable_points"},
+				Rows:    [][]string{append([]string{"all"}, statsRow(merged)...)},
+			}
+			for i, s := range per {
+				res.Rows = append(res.Rows, append([]string{strconv.Itoa(i)}, statsRow(s)...))
+			}
+			return res, nil
+		}
 		return &Result{
 			Columns: []string{"flushes", "avg_flush_ms", "avg_sort_ms", "seq_points", "unseq_points", "files", "memtable_points"},
-			Rows: [][]string{{
-				strconv.Itoa(s.FlushCount),
-				fmt.Sprintf("%.3f", s.AvgFlushMillis),
-				fmt.Sprintf("%.3f", s.AvgSortMillis),
-				strconv.FormatInt(s.SeqPoints, 10),
-				strconv.FormatInt(s.UnseqPoints, 10),
-				strconv.Itoa(s.Files),
-				strconv.Itoa(s.MemTablePoints),
-			}},
+			Rows:    [][]string{statsRow(e.Stats())},
 		}, nil
 
 	case KindSelect:
@@ -383,8 +404,21 @@ func Execute(e *engine.Engine, st *Statement) (*Result, error) {
 	}
 }
 
+// statsRow renders the shared STATS columns for one snapshot.
+func statsRow(s engine.Stats) []string {
+	return []string{
+		strconv.Itoa(s.FlushCount),
+		fmt.Sprintf("%.3f", s.AvgFlushMillis),
+		fmt.Sprintf("%.3f", s.AvgSortMillis),
+		strconv.FormatInt(s.SeqPoints, 10),
+		strconv.FormatInt(s.UnseqPoints, 10),
+		strconv.Itoa(s.Files),
+		strconv.Itoa(s.MemTablePoints),
+	}
+}
+
 // Run parses and executes one statement.
-func Run(e *engine.Engine, input string) (*Result, error) {
+func Run(e Engine, input string) (*Result, error) {
 	st, err := Parse(input)
 	if err != nil {
 		return nil, err
