@@ -49,6 +49,8 @@ func main() {
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers for the in-process engine (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
+	walOn := flag.Bool("wal", false, "enable the write-ahead log for the in-process engine")
+	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy for the in-process engine: none, interval, or always (non-none implies -wal)")
 	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
 	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
 	flag.Parse()
@@ -68,6 +70,7 @@ func main() {
 		shards:       *shards,
 		flushWorkers: *flushWorkers, sortParallelism: *sortParallelism,
 		flatThreshold: *flatThreshold, legacyLocking: *legacyLocking,
+		wal: *walOn, walSync: *walSync,
 	}
 	if err := runCell(cell); err != nil {
 		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -86,6 +89,8 @@ type cellConfig struct {
 	sortParallelism               int
 	flatThreshold                 int
 	legacyLocking                 bool
+	wal                           bool
+	walSync                       string
 }
 
 func runFigure(fig, scale string) error {
@@ -149,10 +154,14 @@ func runCell(cc cellConfig) error {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
+		if cc.walSync != "" && cc.walSync != engine.WALSyncNone {
+			cc.wal = true
+		}
 		engCfg := engine.Config{
 			Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
 			FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
 			FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
+			WAL: cc.wal, WALSync: cc.walSync,
 		}
 		if cc.shards == 1 {
 			eng, err := engine.Open(engCfg)
@@ -199,6 +208,12 @@ func runCell(cc cellConfig) error {
 		res.FlatSorts, res.FlatSortMillis, res.InterfaceSorts, res.InterfaceSortMillis,
 		res.SortParallelism, res.FlatSortThreshold)
 	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
+	avgGroup := 0.0
+	if res.WALSyncs > 0 {
+		avgGroup = float64(res.WALCommits) / float64(res.WALSyncs)
+	}
+	fmt.Printf("  durability: %d wal syncs, %d commits (avg group %.1f), %d quarantined, %d recovered wal batches\n",
+		res.WALSyncs, res.WALCommits, avgGroup, res.QuarantinedFiles, res.RecoveredWALBatches)
 	if len(res.PerShard) > 0 {
 		fmt.Printf("  shards: %d\n", len(res.PerShard))
 		for i, s := range res.PerShard {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/rpc"
@@ -28,6 +29,9 @@ func main() {
 	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points, per shard)")
 	arrayLen := flag.Int("arraylen", 32, "TVList array length")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
+	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy: none, interval, or always (non-none implies -wal)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-exchange connection deadline for reads and writes (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown drain deadline on SIGTERM/SIGINT")
 	shards := flag.Int("shards", 1, "engine shards: 1 = single unsharded engine (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards")
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
@@ -39,12 +43,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsdbd: -dir is required")
 		os.Exit(2)
 	}
+	if *walSync != engine.WALSyncNone {
+		*walOn = true // a sync policy is meaningless without the log
+	}
 	engCfg := engine.Config{
 		Dir:                 *dir,
 		MemTableSize:        *memtable,
 		ArrayLen:            *arrayLen,
 		Algorithm:           *algo,
 		WAL:                 *walOn,
+		WALSync:             *walSync,
 		FlushWorkers:        *flushWorkers,
 		SortParallelism:     *sortParallelism,
 		FlatSortThreshold:   *flatThreshold,
@@ -73,19 +81,31 @@ func main() {
 		shardCount = router.ShardCount()
 	}
 	srv := rpc.NewServer(backend)
+	srv.SetTimeouts(*rpcTimeout, *rpcTimeout)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d, shards=%d)\n", bound, *algo, *memtable, shardCount)
+	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d, shards=%d, wal-sync=%s)\n", bound, *algo, *memtable, shardCount, *walSync)
 
-	sig := make(chan os.Signal, 1)
+	// SIGTERM/SIGINT trigger a graceful shutdown: drain in-flight
+	// requests, then close the engine so the final flush runs with no
+	// writers racing it. A second signal aborts the drain.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("tsdbd: shutting down")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "tsdbd: server close: %v\n", err)
+	fmt.Println("tsdbd: draining")
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Shutdown(*drainTimeout) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsdbd: shutdown: %v\n", err)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "tsdbd: forced shutdown")
+		srv.Close()
 	}
 	if err := closeBackend(); err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: engine close: %v\n", err)

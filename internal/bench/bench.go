@@ -201,6 +201,11 @@ type Result struct {
 	InterfaceSortMillis float64
 	SortParallelism     int
 	FlatSortThreshold   int
+	// Durability counters (WAL sync policy, quarantine, recovery).
+	WALSyncs            int64
+	WALCommits          int64
+	QuarantinedFiles    int
+	RecoveredWALBatches int64
 	// PerShard holds the per-shard stats breakdown when the target is
 	// sharded (shard router in-process, or a sharded tsdbd over rpc);
 	// nil against an unsharded target.
@@ -409,6 +414,10 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.InterfaceSortMillis = st.InterfaceSortMillis
 	res.SortParallelism = st.SortParallelism
 	res.FlatSortThreshold = st.FlatSortThreshold
+	res.WALSyncs = st.WALSyncs
+	res.WALCommits = st.WALCommits
+	res.QuarantinedFiles = st.QuarantinedFiles
+	res.RecoveredWALBatches = st.RecoveredWALBatches
 	if ss, ok := target.(ShardStatser); ok {
 		per, err := ss.ShardStats()
 		if err != nil {

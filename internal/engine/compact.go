@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
@@ -71,12 +70,18 @@ func (e *Engine) Compact() error {
 	e.fileSeq++
 	seq := e.fileSeq
 	e.mu.Unlock()
+	// Same atomic-publication protocol as flush: assemble at a .tmp
+	// path, rename into place once complete, fsync the directory under
+	// a durable policy. A crash mid-compaction leaves the inputs
+	// untouched and at worst a quarantinable .tmp.
 	path := filepath.Join(e.cfg.Dir, fmt.Sprintf("seq-%06d.gtsf", seq))
-	w, err := tsfile.Create(path)
+	tmp := path + ".tmp"
+	w, err := tsfile.CreateFS(e.fs, tmp)
 	if err != nil {
 		releaseOld()
 		return err
 	}
+	w.SyncOnClose = e.walDurable
 	sensors := make([]string, 0, len(perSensor))
 	for s := range perSensor {
 		sensors = append(sensors, s)
@@ -102,19 +107,31 @@ func (e *Engine) Compact() error {
 		}
 		if err := w.WriteChunk(sensor, ts, vs); err != nil {
 			w.Close()
-			os.Remove(path)
+			e.fs.Remove(tmp)
 			releaseOld()
 			return fmt.Errorf("engine: compact write: %w", err)
 		}
 	}
 	if err := w.Close(); err != nil {
-		os.Remove(path)
+		e.fs.Remove(tmp)
 		releaseOld()
 		return err
 	}
+	if err := e.fs.Rename(tmp, path); err != nil {
+		e.fs.Remove(tmp)
+		releaseOld()
+		return fmt.Errorf("engine: compact publish %s: %w", path, err)
+	}
+	if e.walDurable {
+		if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
+			e.fs.Remove(path)
+			releaseOld()
+			return fmt.Errorf("engine: compact publish sync %s: %w", e.cfg.Dir, err)
+		}
+	}
 	r, err := tsfile.Open(path)
 	if err != nil {
-		os.Remove(path)
+		e.fs.Remove(path)
 		releaseOld()
 		return err
 	}
@@ -132,7 +149,7 @@ func (e *Engine) Compact() error {
 		// they are still the durable truth — and drop the new one.
 		e.mu.Unlock()
 		newHandle.release()
-		os.Remove(path)
+		e.fs.Remove(path)
 		releaseOld()
 		return fmt.Errorf("engine: closed")
 	}
@@ -155,9 +172,12 @@ func (e *Engine) Compact() error {
 		if err := fh.release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		if err := os.Remove(fh.path); err != nil && firstErr == nil {
+		if err := e.fs.Remove(fh.path); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if firstErr == nil && e.walDurable && len(old) > 0 {
+		firstErr = e.fs.SyncDir(e.cfg.Dir)
 	}
 	return firstErr
 }

@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,12 +33,33 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/memtable"
 	"repro/internal/sortalgo"
 	"repro/internal/tsfile"
 	"repro/internal/tvlist"
 	"repro/internal/wal"
 )
+
+// WAL sync policies (Config.WALSync).
+const (
+	// WALSyncNone acknowledges writes once they reach the OS page
+	// cache: process crashes lose nothing, machine crashes may. This is
+	// IoTDB's wal_buffer default and the paper's timing profile;
+	// cmd/repro uses it.
+	WALSyncNone = "none"
+	// WALSyncInterval fsyncs the active segment in the background every
+	// Config.WALSyncPeriod: a machine crash loses at most one period.
+	WALSyncInterval = "interval"
+	// WALSyncAlways acknowledges a write only after its WAL record is
+	// fsynced. Concurrent inserts share fsyncs via group commit, so the
+	// cost per batch shrinks as concurrency grows.
+	WALSyncAlways = "always"
+)
+
+// DefaultWALSyncPeriod is the background fsync cadence under
+// WALSyncInterval when Config.WALSyncPeriod is zero.
+const DefaultWALSyncPeriod = 200 * time.Millisecond
 
 // DefaultMemTableSize is the flush threshold in points. The paper uses
 // 100,000 as "the appropriate memory points size in the IoTDB".
@@ -94,6 +116,20 @@ type Config struct {
 	// replayed (and immediately flushed) on Open. Off by default —
 	// the paper's experiments do not exercise it.
 	WAL bool
+	// WALSync selects the WAL durability policy: WALSyncNone (default),
+	// WALSyncInterval, or WALSyncAlways. Only meaningful when WAL is
+	// on. Any policy other than none also makes chunk publication
+	// durable: flushed files are fsynced before their rename into
+	// place, and the data directory is fsynced after segment and chunk
+	// lifecycle changes.
+	WALSync string
+	// WALSyncPeriod is the background fsync cadence under
+	// WALSyncInterval (default DefaultWALSyncPeriod).
+	WALSyncPeriod time.Duration
+	// FS is the filesystem seam for the write path (default
+	// faultfs.OS). Crash tests inject fault filesystems here; it
+	// threads through the WAL, chunk-file writes, renames and removes.
+	FS faultfs.FS
 	// SharedPool, when set, replaces the engine's own flush worker
 	// pool with one shared across engines (the shard layer uses this
 	// so N shards stay within one machine-wide sort/encode bound).
@@ -142,6 +178,13 @@ type Stats struct {
 	MaxLockWaitMicros float64
 	P99LockWaitMicros float64
 	QueriesBlocked    int64 // queries that waited on the engine lock
+	// Durability counters: WAL fsync activity (WALCommits/WALSyncs is
+	// the mean group-commit batch size under WALSyncAlways) and crash
+	// recovery outcomes from the last Open.
+	WALSyncs            int64 // fsyncs issued on WAL segments
+	WALCommits          int64 // commit tickets served by those fsyncs
+	QuarantinedFiles    int   // torn/corrupt files quarantined at recovery
+	RecoveredWALBatches int64 // batches replayed from WAL at recovery
 }
 
 // Engine is the storage engine. All methods are safe for concurrent
@@ -151,6 +194,25 @@ type Engine struct {
 	algo       sortalgo.Func
 	pool       *flushPool
 	poolShared bool // pool belongs to cfg.SharedPool's owner, not us
+
+	// Durability plumbing, resolved at Open: the filesystem seam, the
+	// sync policy split into its two consequences (walDurable: segment
+	// and chunk lifecycle ops fsync; walAlways: inserts ack only after
+	// a group commit), and the WAL-wide fsync counters shared by every
+	// segment this engine creates.
+	fs         faultfs.FS
+	walDurable bool
+	walAlways  bool
+	walStats   wal.SyncStats
+
+	// Recovery outcomes from Open (written before Open returns, then
+	// read-only).
+	quarantined      int
+	recoveredBatches int64
+
+	// Interval-sync ticker lifecycle (WALSyncInterval only).
+	walTickStop chan struct{}
+	walTickDone chan struct{}
 
 	// Flat-kernel routing, resolved at Open: lists of at least
 	// flatThreshold records sort through tvlist.EnsureSortedFlat when
@@ -286,9 +348,24 @@ func Open(cfg Config) (*Engine, error) {
 	if sortPar <= 0 {
 		sortPar = 1
 	}
+	switch cfg.WALSync {
+	case "", WALSyncNone, WALSyncInterval, WALSyncAlways:
+	default:
+		return nil, fmt.Errorf("engine: unknown WAL sync policy %q", cfg.WALSync)
+	}
+	if cfg.WALSyncPeriod <= 0 {
+		cfg.WALSyncPeriod = DefaultWALSyncPeriod
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
 	e := &Engine{
 		cfg:           cfg,
 		algo:          algo,
+		fs:            fs,
+		walDurable:    cfg.WAL && (cfg.WALSync == WALSyncInterval || cfg.WALSync == WALSyncAlways),
+		walAlways:     cfg.WAL && cfg.WALSync == WALSyncAlways,
 		useFlat:       flatThreshold > 0 && cfg.Algorithm == "backward",
 		flatThreshold: flatThreshold,
 		flatOpts:      core.FlatOptions{Parallelism: sortPar},
@@ -323,9 +400,41 @@ func Open(cfg Config) (*Engine, error) {
 				return nil, err
 			}
 		}
+		if cfg.WALSync == WALSyncInterval {
+			e.walTickStop = make(chan struct{})
+			e.walTickDone = make(chan struct{})
+			go e.walSyncLoop()
+		}
 	}
 	opened = true
 	return e, nil
+}
+
+// walSyncLoop fsyncs the active segment every WALSyncPeriod (the
+// WALSyncInterval policy): a machine crash loses at most one period of
+// acknowledged writes. It goes through Commit, so a tick overlapping
+// always-style committers (or a segment mid-retirement) coalesces
+// instead of double-syncing.
+func (e *Engine) walSyncLoop() {
+	defer close(e.walTickDone)
+	ticker := time.NewTicker(e.cfg.WALSyncPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.walTickStop:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		seg := e.walSeg
+		e.mu.Unlock()
+		if seg == nil {
+			continue
+		}
+		if err := seg.Commit(); err != nil {
+			e.recordFlushErr(fmt.Errorf("engine: wal interval sync: %w", err))
+		}
+	}
 }
 
 // recoverWAL replays unflushed generations from leftover WAL segments
@@ -343,29 +452,34 @@ func (e *Engine) recoverWAL() error {
 	// flush's fresh segment cannot collide with (and then delete) a
 	// live file.
 	for _, path := range segs {
-		var seq int
-		if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.log", &seq); err == nil && seq > e.walSeq {
+		if seq, ok := wal.SeqFromName(filepath.Base(path)); ok && seq > e.walSeq {
 			e.walSeq = seq
 		}
 	}
-	replayed := 0
+	replayedPoints := 0
 	for _, path := range segs {
 		err := wal.Replay(path, func(b wal.Batch) error {
-			replayed += len(b.Times)
+			replayedPoints += len(b.Times)
+			e.recoveredBatches++
 			return e.insertRouted(b.Sensor, b.Times, b.Values)
 		})
 		if err != nil {
 			return fmt.Errorf("engine: wal recovery: %w", err)
 		}
 	}
-	if replayed > 0 {
+	if replayedPoints > 0 {
 		e.Flush() // make the replayed data durable as chunk files
 		if err := e.FlushError(); err != nil {
 			return err
 		}
 	}
 	for _, path := range segs {
-		if err := os.Remove(path); err != nil {
+		if err := e.fs.Remove(path); err != nil {
+			return err
+		}
+	}
+	if e.walDurable {
+		if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
 			return err
 		}
 	}
@@ -376,7 +490,8 @@ func (e *Engine) recoverWAL() error {
 // concurrent inserts (Open, or under e.mu via rotateLocked).
 func (e *Engine) newWALSegment() error {
 	e.walSeq++
-	seg, err := wal.Create(filepath.Join(e.cfg.Dir, fmt.Sprintf("wal-%09d.log", e.walSeq)))
+	seg, err := wal.CreateFS(e.fs, filepath.Join(e.cfg.Dir, wal.SegmentName(e.walSeq)),
+		wal.Options{Durable: e.walDurable, Stats: &e.walStats})
 	if err != nil {
 		return err
 	}
@@ -403,7 +518,28 @@ func (e *Engine) insertRouted(sensor string, times []int64, values []float64) er
 	return nil
 }
 
+// quarantineSuffix marks files recovery set aside instead of serving:
+// unpublished flush temporaries and chunk files that failed
+// validation. Quarantined files are renamed, not deleted — an operator
+// (or a forensic test) can still inspect them — and recovery skips
+// them on later Opens.
+const quarantineSuffix = ".quarantine"
+
+// quarantine renames path out of the live namespace and counts it.
+func (e *Engine) quarantine(path string) error {
+	if err := e.fs.Rename(path, path+quarantineSuffix); err != nil {
+		return fmt.Errorf("engine: quarantine %s: %w", filepath.Base(path), err)
+	}
+	e.quarantined++
+	return nil
+}
+
 // recover loads pre-existing flushed files from the data directory.
+// Leftover flush temporaries (crash before the publishing rename) and
+// chunk files that fail header/footer/index validation are quarantined
+// rather than served or fatal: a crash mid-publication must never
+// leave the directory unopenable, and a torn file must never answer a
+// query.
 func (e *Engine) recover() error {
 	entries, err := os.ReadDir(e.cfg.Dir)
 	if err != nil {
@@ -411,7 +547,19 @@ func (e *Engine) recover() error {
 	}
 	for _, ent := range entries {
 		name := ent.Name()
-		if ent.IsDir() || filepath.Ext(name) != ".gtsf" {
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".gtsf.tmp") {
+			// A flush died between Create and the publishing rename.
+			// The WAL still covers this generation; the partial file is
+			// garbage.
+			if err := e.quarantine(filepath.Join(e.cfg.Dir, name)); err != nil {
+				return err
+			}
+			continue
+		}
+		if filepath.Ext(name) != ".gtsf" {
 			continue
 		}
 		unseq := strings.HasPrefix(name, "unseq-")
@@ -421,6 +569,12 @@ func (e *Engine) recover() error {
 		path := filepath.Join(e.cfg.Dir, name)
 		r, err := tsfile.Open(path)
 		if err != nil {
+			if errors.Is(err, tsfile.ErrCorrupt) {
+				if qerr := e.quarantine(path); qerr != nil {
+					return qerr
+				}
+				continue
+			}
 			return fmt.Errorf("engine: recover %s: %w", name, err)
 		}
 		fh := newFileHandle(path, r, unseq)
@@ -439,6 +593,11 @@ func (e *Engine) recover() error {
 			if seqNo > e.fileSeq {
 				e.fileSeq = seqNo
 			}
+		}
+	}
+	if e.quarantined > 0 && e.walDurable {
+		if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -461,8 +620,16 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 		e.mu.Unlock()
 		return fmt.Errorf("engine: closed")
 	}
-	if e.walSeg != nil {
-		if err := e.walSeg.Append(sensor, times, values); err != nil {
+	if e.cfg.WAL && e.walSeg == nil {
+		// A previous segment rotation failed: accepting this write
+		// would acknowledge data that no WAL covers. Reject instead —
+		// the durability contract outranks availability here.
+		e.mu.Unlock()
+		return fmt.Errorf("engine: wal unavailable (segment rotation failed); write rejected")
+	}
+	walSeg := e.walSeg
+	if walSeg != nil {
+		if err := walSeg.Append(sensor, times, values); err != nil {
 			e.mu.Unlock()
 			return fmt.Errorf("engine: wal append: %w", err)
 		}
@@ -498,6 +665,19 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 	e.unseqPoints += unseq
 	e.statsMu.Unlock()
 
+	var commitErr error
+	if walSeg != nil && e.walAlways {
+		// Acknowledge only after the record is on stable storage. The
+		// fsync runs outside e.mu, so concurrent inserts group-commit:
+		// they piggyback on one in-flight fsync instead of queueing one
+		// each. If this batch's generation already flushed (the segment
+		// was retired mid-commit), Commit reports success — the data is
+		// durable as an fsynced chunk file.
+		commitErr = walSeg.Commit()
+	}
+
+	// A registered drain must run even when the commit failed — the
+	// unit is already in the flushing list and Close waits on it.
 	if unit != nil {
 		if e.cfg.SyncFlush {
 			e.drain(unit)
@@ -508,6 +688,9 @@ func (e *Engine) InsertBatch(sensor string, times []int64, values []float64) err
 				e.drain(unit)
 			}()
 		}
+	}
+	if commitErr != nil {
+		return fmt.Errorf("engine: wal commit: %w", commitErr)
 	}
 	return nil
 }
@@ -579,7 +762,7 @@ func (e *Engine) drain(unit *flushUnit) {
 	fail := func(err error) {
 		for _, h := range handles {
 			h.release()
-			os.Remove(h.path)
+			e.fs.Remove(h.path)
 		}
 		e.recordFlushErr(err)
 	}
@@ -630,29 +813,49 @@ func (e *Engine) drain(unit *flushUnit) {
 			}
 		}
 
+		// Atomic publication: the chunk file is assembled at a .tmp
+		// path and renamed into place only once complete (and, under a
+		// durable sync policy, fsynced first, with the directory
+		// fsynced after). A crash at any point leaves either no file
+		// or a .tmp that recovery quarantines — never a torn file at a
+		// servable name.
 		t2 := time.Now()
-		w, err := tsfile.Create(path)
+		tmp := path + ".tmp"
+		w, err := tsfile.CreateFS(e.fs, tmp)
 		if err != nil {
-			fail(fmt.Errorf("engine: flush create %s: %w", path, err))
+			fail(fmt.Errorf("engine: flush create %s: %w", tmp, err))
 			return
 		}
+		w.SyncOnClose = e.walDurable
 		for _, enc := range encoded {
 			if err := w.AppendEncoded(enc); err != nil {
 				w.Close()
-				os.Remove(path)
-				fail(fmt.Errorf("engine: flush write %s: %w", path, err))
+				e.fs.Remove(tmp)
+				fail(fmt.Errorf("engine: flush write %s: %w", tmp, err))
 				return
 			}
 		}
 		if err := w.Close(); err != nil {
-			os.Remove(path)
-			fail(fmt.Errorf("engine: flush close %s: %w", path, err))
+			e.fs.Remove(tmp)
+			fail(fmt.Errorf("engine: flush close %s: %w", tmp, err))
 			return
+		}
+		if err := e.fs.Rename(tmp, path); err != nil {
+			e.fs.Remove(tmp)
+			fail(fmt.Errorf("engine: flush publish %s: %w", path, err))
+			return
+		}
+		if e.walDurable {
+			if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
+				e.fs.Remove(path)
+				fail(fmt.Errorf("engine: flush publish sync %s: %w", e.cfg.Dir, err))
+				return
+			}
 		}
 		writeDur += time.Since(t2)
 		r, err := tsfile.Open(path)
 		if err != nil {
-			os.Remove(path)
+			e.fs.Remove(path)
 			fail(fmt.Errorf("engine: flush reopen %s: %w", path, err))
 			return
 		}
@@ -917,6 +1120,12 @@ func (e *Engine) Stats() Stats {
 		s.MaxLockWaitMicros = float64(e.lockHist.max.Load()) / 1e3
 		s.P99LockWaitMicros = e.lockHist.percentileMicros(99)
 	}
+	s.WALSyncs = e.walStats.Syncs.Load()
+	s.WALCommits = e.walStats.Commits.Load()
+	e.statsMu.Lock()
+	s.QuarantinedFiles = e.quarantined
+	s.RecoveredWALBatches = e.recoveredBatches
+	e.statsMu.Unlock()
 	return s
 }
 
@@ -954,6 +1163,10 @@ func (e *Engine) Close() error {
 	done := make(chan struct{})
 	e.closeDone = done
 	e.mu.Unlock()
+	if e.walTickStop != nil {
+		close(e.walTickStop)
+		<-e.walTickDone
+	}
 	// closed is set: no new drain can be registered, so the wait is
 	// complete and the pool can be stopped safely.
 	e.flushWG.Wait()
@@ -964,10 +1177,24 @@ func (e *Engine) Close() error {
 	e.mu.Lock()
 	firstErr := e.FlushError()
 	if e.walSeg != nil {
-		// The active segment is empty (Flush above rotated the last
-		// writes into a drained unit), so it can go.
-		if err := e.walSeg.Remove(); err != nil && firstErr == nil {
-			firstErr = err
+		// The active segment may only be removed when it is provably
+		// empty — i.e. Flush above rotated every batch into a unit that
+		// drained successfully. If a final flush failed, the segment
+		// still guards un-persisted batches: keep it on disk so the
+		// next Open replays it, and surface the retention.
+		if e.walSeg.Empty() {
+			if err := e.walSeg.Remove(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			closeErr := e.walSeg.Close()
+			if firstErr == nil {
+				if closeErr != nil {
+					firstErr = closeErr
+				} else {
+					firstErr = fmt.Errorf("engine: close: %d un-flushed wal batches retained in %s for replay", e.walSeg.Batches(), e.walSeg.Path())
+				}
+			}
 		}
 		e.walSeg = nil
 	}

@@ -170,12 +170,44 @@ func TestFlushFailureSurfaced(t *testing.T) {
 	}
 }
 
-func TestRecoverRejectsCorruptFile(t *testing.T) {
+func TestRecoverQuarantinesCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "seq-000001.gtsf"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Config{Dir: dir, SyncFlush: true}); err == nil {
-		t.Fatal("corrupt recovery file accepted")
+	e, err := Open(Config{Dir: dir, SyncFlush: true})
+	if err != nil {
+		t.Fatalf("open with corrupt file: %v", err)
+	}
+	defer e.Close()
+	if got := e.Stats().QuarantinedFiles; got != 1 {
+		t.Fatalf("QuarantinedFiles = %d, want 1", got)
+	}
+	if e.FileCount() != 0 {
+		t.Fatalf("corrupt file served: FileCount = %d", e.FileCount())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seq-000001.gtsf.quarantine")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seq-000001.gtsf")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still at servable name: %v", err)
+	}
+}
+
+func TestRecoverQuarantinesTmpFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seq-000007.gtsf.tmp"), []byte("half a flush"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(Config{Dir: dir, SyncFlush: true})
+	if err != nil {
+		t.Fatalf("open with tmp leftover: %v", err)
+	}
+	defer e.Close()
+	if got := e.Stats().QuarantinedFiles; got != 1 {
+		t.Fatalf("QuarantinedFiles = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seq-000007.gtsf.tmp.quarantine")); err != nil {
+		t.Fatalf("quarantined tmp missing: %v", err)
 	}
 }

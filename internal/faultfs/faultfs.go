@@ -1,0 +1,330 @@
+// Package faultfs is a minimal filesystem seam for the storage
+// engine's write path. The WAL and tsfile writers perform every
+// durability-relevant operation — create, write, fsync, rename,
+// remove, directory fsync — through the FS interface, with an
+// os-backed default that adds no overhead beyond one interface call.
+//
+// The point of the seam is the Injector: a wrapping FS that counts
+// operations and "kills the process" at the k-th one — the triggering
+// write lands only a torn prefix (like a machine losing power
+// mid-write) and every later operation fails with ErrCrashed, so
+// nothing after the crash point can reach the disk. A crash-matrix
+// test sweeps k across an entire ingestion run, recovers from the
+// surviving directory state with the real filesystem, and asserts the
+// engine's durability contract at every possible interleaving.
+//
+// HookFS is the targeted sibling: it consults a callback before each
+// operation, so a test can fail exactly "the rename of the second
+// chunk file" without counting operations.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is the write-side file surface the storage engine needs. Reads
+// go through plain *os.File handles — crash injection only concerns
+// mutations.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the write-side filesystem surface.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making renames, creates
+	// and removes inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error)     { return os.Create(path) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// ErrCrashed is returned by every operation attempted at or after an
+// Injector's kill point.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// Op identifies one filesystem operation kind, for HookFS callbacks
+// and crash diagnostics.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpSyncDir
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Injector wraps an FS and simulates a process kill at the k-th
+// operation: the k-th write applies only a torn prefix, any other
+// k-th operation has no effect, and everything afterwards fails with
+// ErrCrashed. Close is never counted or failed — closing a file
+// descriptor frees a process resource but mutates no durable state,
+// and the tests need it so abandoned engines do not leak fds.
+//
+// An Injector is safe for concurrent use; the operation counter gives
+// concurrent histories a total order.
+type Injector struct {
+	under FS
+
+	mu        sync.Mutex
+	killAfter int64 // crash on the op that makes count exceed this; <= 0 never
+	count     int64
+	crashed   bool
+	crashOp   Op
+}
+
+// NewInjector returns an Injector over under that crashes at the
+// killAfter-th operation (1-based). killAfter <= 0 never crashes —
+// the Injector then only counts, which is how the crash matrix
+// measures a run's total operation count.
+func NewInjector(under FS, killAfter int) *Injector {
+	return &Injector{under: under, killAfter: int64(killAfter)}
+}
+
+// step accounts one operation. It returns (true, nil) when the
+// operation should proceed normally, (false, err) when it must fail,
+// and (false, nil) exactly at the kill point — the caller then applies
+// its torn-crash behavior and reports ErrCrashed.
+func (i *Injector) step(op Op) (proceed bool, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return false, fmt.Errorf("%w (at %s)", ErrCrashed, i.crashOp)
+	}
+	i.count++
+	if i.killAfter > 0 && i.count >= i.killAfter {
+		i.crashed = true
+		i.crashOp = op
+		return false, nil
+	}
+	return true, nil
+}
+
+// Crashed reports whether the kill point was reached.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// Ops returns how many operations have been counted so far.
+func (i *Injector) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.count
+}
+
+func (i *Injector) Create(path string) (File, error) {
+	proceed, err := i.step(OpCreate)
+	if err != nil {
+		return nil, err
+	}
+	if !proceed {
+		// Crash during create: like a kill between the open syscall
+		// and anything using it — no file appears.
+		return nil, fmt.Errorf("%w (create %s)", ErrCrashed, path)
+	}
+	f, err := i.under.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	proceed, err := i.step(OpRename)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		// rename(2) is atomic: a crash either lands it fully or not at
+		// all. Model the "not at all" half — the old path survives.
+		return fmt.Errorf("%w (rename %s)", ErrCrashed, oldpath)
+	}
+	return i.under.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(path string) error {
+	proceed, err := i.step(OpRemove)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		return fmt.Errorf("%w (remove %s)", ErrCrashed, path)
+	}
+	return i.under.Remove(path)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	proceed, err := i.step(OpSyncDir)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		return fmt.Errorf("%w (syncdir %s)", ErrCrashed, dir)
+	}
+	return i.under.SyncDir(dir)
+}
+
+// injFile threads the injector through per-file operations.
+type injFile struct {
+	inj *Injector
+	f   File
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+
+// Close is deliberately uninstrumented; see Injector.
+func (f *injFile) Close() error { return f.f.Close() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	proceed, err := f.inj.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if !proceed {
+		// Torn write: half the buffer reaches the file, then the
+		// process dies. Recovery must treat the tail as garbage.
+		n := len(p) / 2
+		if n > 0 {
+			f.f.Write(p[:n])
+		}
+		return n, fmt.Errorf("%w (write %s)", ErrCrashed, f.f.Name())
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	proceed, err := f.inj.step(OpSync)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		// Crash during fsync: the sync never completed, so no
+		// durability may be assumed from it.
+		return fmt.Errorf("%w (sync %s)", ErrCrashed, f.f.Name())
+	}
+	return f.f.Sync()
+}
+
+// HookFS consults Hook before every operation (including writes and
+// syncs on files it created); a non-nil return fails the operation
+// without touching the underlying FS. A nil Hook passes everything
+// through.
+type HookFS struct {
+	Under FS
+	Hook  func(op Op, path string) error
+}
+
+func (h *HookFS) check(op Op, path string) error {
+	if h.Hook == nil {
+		return nil
+	}
+	return h.Hook(op, path)
+}
+
+func (h *HookFS) Create(path string) (File, error) {
+	if err := h.check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	f, err := h.Under.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{fs: h, f: f}, nil
+}
+
+func (h *HookFS) Rename(oldpath, newpath string) error {
+	if err := h.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return h.Under.Rename(oldpath, newpath)
+}
+
+func (h *HookFS) Remove(path string) error {
+	if err := h.check(OpRemove, path); err != nil {
+		return err
+	}
+	return h.Under.Remove(path)
+}
+
+func (h *HookFS) SyncDir(dir string) error {
+	if err := h.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return h.Under.SyncDir(dir)
+}
+
+type hookFile struct {
+	fs *HookFS
+	f  File
+}
+
+func (f *hookFile) Name() string { return f.f.Name() }
+func (f *hookFile) Close() error { return f.f.Close() }
+
+func (f *hookFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(OpWrite, f.f.Name()); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *hookFile) Sync() error {
+	if err := f.fs.check(OpSync, f.f.Name()); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}

@@ -1,0 +1,135 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dat")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "b.dat"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "b.dat")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorKillsAtKthOp(t *testing.T) {
+	dir := t.TempDir()
+	// Ops: 1 create, 2 write, 3 sync, 4 rename. Kill at the sync.
+	inj := NewInjector(OS, 3)
+	f, err := inj.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync at kill point: got %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector should report crashed")
+	}
+	// Everything after the crash fails and has no effect.
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: got %v", err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: got %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close must stay available after crash: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("pre-crash write must survive intact: %q, %v", got, err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 2) // kill on the first write
+	f, err := inj.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write should land half the buffer, landed %d", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(got) != "abcd" {
+		t.Fatalf("torn prefix on disk: %q", got)
+	}
+}
+
+func TestInjectorCountsWithoutKill(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 0)
+	f, _ := inj.Create(filepath.Join(dir, "x"))
+	f.Write([]byte("a"))
+	f.Sync()
+	f.Close()
+	inj.Remove(filepath.Join(dir, "x"))
+	if inj.Crashed() {
+		t.Fatal("killAfter=0 must never crash")
+	}
+	if got := inj.Ops(); got != 4 {
+		t.Fatalf("counted %d ops, want 4 (create, write, sync, remove)", got)
+	}
+}
+
+func TestHookFSTargetedFailure(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	fs := &HookFS{Under: OS, Hook: func(op Op, path string) error {
+		if op == OpRename && strings.HasSuffix(path, ".tmp") {
+			return boom
+		}
+		return nil
+	}}
+	f, err := fs.Create(filepath.Join(dir, "c.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Rename(filepath.Join(dir, "c.tmp"), filepath.Join(dir, "c")); !errors.Is(err, boom) {
+		t.Fatalf("hooked rename: got %v", err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "c.tmp")); err != nil {
+		t.Fatalf("unhooked remove: %v", err)
+	}
+}

@@ -7,19 +7,35 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/query"
 )
 
+// Retry policy for idempotent calls: attempts after the first each
+// redial the server, with exponential backoff between them.
+const (
+	retryAttempts    = 4
+	retryBaseBackoff = 25 * time.Millisecond
+)
+
 // Client is a connection to a Server. One request runs at a time per
 // client; it satisfies bench.Target so benchmark workloads can run
 // client-server. Open several clients for concurrency.
+//
+// Idempotent calls (Query, Latest, Stats, Aggregate, Flush, Settle)
+// transparently redial and retry with exponential backoff when the
+// transport fails — e.g. across a server restart or a dropped
+// connection. InsertBatch never retries: a write whose response was
+// lost may have been applied, and re-sending it is the caller's call.
 type Client struct {
+	addr          string
 	mu            sync.Mutex
 	conn          net.Conn
 	br            *bufio.Reader
 	bw            *bufio.Writer
+	closed        bool
 	serverVersion byte
 }
 
@@ -28,28 +44,44 @@ type Client struct {
 // cannot speak, fails here with a descriptive error instead of
 // misparsing frames later.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<16),
-		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}
-	if err := c.handshake(); err != nil {
-		conn.Close()
+	c := &Client{addr: addr}
+	if err := c.redialLocked(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// handshake exchanges magic + version with the server once per
+// redialLocked (re)establishes the connection and handshakes. The
+// caller holds c.mu (or, during Dial, is the sole owner).
+func (c *Client) redialLocked() error {
+	if c.closed {
+		return fmt.Errorf("rpc: client closed")
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 1<<16)
+	c.bw = bufio.NewWriterSize(conn, 1<<16)
+	if err := c.handshakeLocked(); err != nil {
+		conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// handshakeLocked exchanges magic + version with the server once per
 // connection.
-func (c *Client) handshake() error {
+func (c *Client) handshakeLocked() error {
 	payload := append([]byte(nil), protocolMagic[:]...)
 	payload = append(payload, ProtocolVersion)
-	resp, err := c.call(OpHello, payload)
+	resp, err := c.exchangeLocked(OpHello, payload)
 	if err != nil {
 		if errors.Is(err, ErrRemote) {
 			// A version-1 server answers hello with "unknown opcode".
@@ -68,10 +100,11 @@ func (c *Client) handshake() error {
 // the handshake.
 func (c *Client) ServerVersion() byte { return c.serverVersion }
 
-// call performs one request/response exchange.
-func (c *Client) call(op byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// exchangeLocked performs one request/response exchange; c.mu held.
+func (c *Client) exchangeLocked(op byte, payload []byte) ([]byte, error) {
+	if c.conn == nil {
+		return nil, fmt.Errorf("rpc: connection closed")
+	}
 	if err := writeFrame(c.bw, op, payload); err != nil {
 		return nil, err
 	}
@@ -86,6 +119,43 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, resp)
 	}
 	return resp, nil
+}
+
+// call performs one request/response exchange with no retry (used for
+// non-idempotent operations).
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exchangeLocked(op, payload)
+}
+
+// callIdempotent is call plus a redial-and-retry loop with exponential
+// backoff. Only transport failures retry; ErrRemote means the server
+// received and answered the request, so it is returned as-is.
+func (c *Client) callIdempotent(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backoff := retryBaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if c.closed {
+			return nil, fmt.Errorf("rpc: client closed")
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.exchangeLocked(op, payload)
+		if err == nil || errors.Is(err, ErrRemote) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rpc: %d attempts failed: %w", retryAttempts, lastErr)
 }
 
 // InsertBatch implements bench.Target.
@@ -108,7 +178,7 @@ func (c *Client) Query(sensor string, minT, maxT int64) ([]engine.TV, error) {
 	payload := appendString(nil, sensor)
 	payload = binary.AppendVarint(payload, minT)
 	payload = binary.AppendVarint(payload, maxT)
-	resp, err := c.call(OpQuery, payload)
+	resp, err := c.callIdempotent(OpQuery, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +210,7 @@ func (c *Client) QueryCount(sensor string, minT, maxT int64) (int, error) {
 
 // Latest implements bench.Target.
 func (c *Client) Latest(sensor string) (int64, bool, error) {
-	resp, err := c.call(OpLatest, appendString(nil, sensor))
+	resp, err := c.callIdempotent(OpLatest, appendString(nil, sensor))
 	if err != nil {
 		return 0, false, err
 	}
@@ -173,9 +243,11 @@ func (c *Client) ShardStats() ([]engine.Stats, error) {
 
 // StatsFull returns the aggregate stats and the per-shard breakdown
 // from a single OpStats exchange. A legacy (version-1) stats payload
-// carries no per-shard extension; the breakdown is nil then.
+// carries no per-shard extension (the breakdown is nil then), and a
+// version-2 payload carries no durability extension (the durability
+// counters stay zero).
 func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
-	resp, err := c.call(OpStats, nil)
+	resp, err := c.callIdempotent(OpStats, nil)
 	if err != nil {
 		return engine.Stats{}, nil, err
 	}
@@ -202,19 +274,30 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 			return st, nil, err
 		}
 	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-2 payload: no durability extension
+	}
+	if err := p.durability(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.durability(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
 	return st, per, nil
 }
 
 // Flush forces a server-side flush.
 func (c *Client) Flush() error {
-	_, err := c.call(OpFlush, nil)
+	_, err := c.callIdempotent(OpFlush, nil)
 	return err
 }
 
 // Settle implements bench.Target: waits for the server's in-flight
 // background flushes.
 func (c *Client) Settle() error {
-	_, err := c.call(OpWait, nil)
+	_, err := c.callIdempotent(OpWait, nil)
 	return err
 }
 
@@ -225,7 +308,7 @@ func (c *Client) Aggregate(sensor string, startT, endT, window int64, agg query.
 	for _, v := range []int64{startT, endT, window, int64(agg)} {
 		payload = binary.AppendVarint(payload, v)
 	}
-	resp, err := c.call(OpAgg, payload)
+	resp, err := c.callIdempotent(OpAgg, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -254,5 +337,15 @@ func (c *Client) Aggregate(sensor string, startT, endT, window int64, agg query.
 	return out, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. Further calls fail without redialing.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

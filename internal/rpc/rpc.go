@@ -22,9 +22,14 @@
 //	    engine stats block only)
 //	2 — handshake required; OpStats appends a per-shard extension:
 //	    uvarint shard count followed by that many stats blocks
+//	3 — OpStats appends a durability extension after the per-shard
+//	    blocks: one durability block (WAL syncs, WAL commits,
+//	    quarantined files, recovered WAL batches — all varints) for
+//	    the aggregate, then one per shard
 //
-// A version-2 client still reads the version-1 stats shape: the
-// per-shard extension is detected by remaining payload bytes.
+// Extensions are strictly trailing, so a newer client reads an older
+// payload by what remains: the per-shard extension and the durability
+// extension are each detected by remaining payload bytes.
 package rpc
 
 import (
@@ -51,7 +56,7 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 2
+const ProtocolVersion = 3
 
 // protocolMagic opens every handshake payload. Four printable bytes so
 // an accidental connection from an unrelated protocol is rejected with
@@ -249,4 +254,35 @@ func (p *payloadReader) stats() (engine.Stats, error) {
 		*dst = int(v)
 	}
 	return st, nil
+}
+
+// appendDurability encodes the version-3 durability counters for one
+// stats snapshot. The block trails the per-shard extension so that
+// version-2 clients (which stop reading after the shard blocks) are
+// unaffected.
+func appendDurability(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, st.WALSyncs)
+	b = binary.AppendVarint(b, st.WALCommits)
+	b = binary.AppendVarint(b, int64(st.QuarantinedFiles))
+	b = binary.AppendVarint(b, st.RecoveredWALBatches)
+	return b
+}
+
+// durability decodes one durability block into st (the inverse of
+// appendDurability).
+func (p *payloadReader) durability(st *engine.Stats) error {
+	var err error
+	if st.WALSyncs, err = p.varint(); err != nil {
+		return err
+	}
+	if st.WALCommits, err = p.varint(); err != nil {
+		return err
+	}
+	v, err := p.varint()
+	if err != nil {
+		return err
+	}
+	st.QuarantinedFiles = int(v)
+	st.RecoveredWALBatches, err = p.varint()
+	return err
 }

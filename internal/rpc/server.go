@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/query"
@@ -36,16 +37,30 @@ type shardedBackend interface {
 type Server struct {
 	eng Backend
 
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	draining bool
 }
 
 // NewServer wraps a backend (an engine or a shard router).
 func NewServer(eng Backend) *Server {
 	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// SetTimeouts arms per-exchange connection deadlines: read is the
+// longest a connection may sit between requests (an idle or stalled
+// peer is dropped after it), write the longest one response may take to
+// drain into the socket. Zero disables the respective deadline. Call
+// before Listen.
+func (s *Server) SetTimeouts(read, write time.Duration) {
+	s.readTimeout = read
+	s.writeTimeout = write
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -94,9 +109,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	for first := true; ; first = false {
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
 		op, payload, err := readFrame(br)
 		if err != nil {
-			return // client went away or sent garbage
+			return // client went away, stalled past the deadline, or sent garbage
 		}
 		var resp []byte
 		var derr error
@@ -114,6 +132,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			status = 1
 			resp = []byte(derr.Error())
 		}
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := writeFrame(bw, status, resp); err != nil {
 			return
 		}
@@ -122,6 +143,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if first && derr != nil {
 			return // failed handshake: drop the connection
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return // graceful shutdown: finish the in-flight exchange, then close
 		}
 	}
 }
@@ -195,7 +222,10 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 	case OpStats:
 		// Aggregate stats in the version-1 block layout, then the
 		// version-2 per-shard extension (absent shards encode as 0, so
-		// clients against a bare engine see an empty breakdown).
+		// clients against a bare engine see an empty breakdown), then
+		// the version-3 durability extension (aggregate block + one per
+		// shard). Older clients stop reading before the extensions they
+		// do not know.
 		var resp []byte
 		if sb, ok := s.eng.(shardedBackend); ok {
 			merged, per := sb.StatsAll()
@@ -204,9 +234,15 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendStats(resp, shardStats)
 			}
+			resp = appendDurability(resp, merged)
+			for _, shardStats := range per {
+				resp = appendDurability(resp, shardStats)
+			}
 		} else {
-			resp = appendStats(nil, s.eng.Stats())
+			st := s.eng.Stats()
+			resp = appendStats(nil, st)
 			resp = binary.AppendUvarint(resp, 0)
+			resp = appendDurability(resp, st)
 		}
 		return resp, nil
 
@@ -257,6 +293,54 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("rpc: unknown opcode %d", op)
 	}
+}
+
+// Shutdown drains the server gracefully: it stops accepting, lets every
+// in-flight exchange finish (idle connections are released at their
+// next read, bounded by the drain deadline), and force-closes whatever
+// remains when the deadline passes. The engine is left open (the owner
+// closes it — typically right after Shutdown returns, so the final
+// flush happens with no requests in flight).
+func (s *Server) Shutdown(drain time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	// Unblock connections parked in readFrame waiting for a request
+	// that will never come; handlers mid-dispatch are unaffected until
+	// they next read.
+	deadline := time.Now().Add(drain)
+	for conn := range s.conns {
+		conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain + 100*time.Millisecond):
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
 }
 
 // Close stops accepting, closes live connections, and waits for the

@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/faultfs"
+)
+
+// crashWorkload ingests batches round-robin across one sensor per
+// shard until the filesystem crashes (or the workload completes),
+// returning the number of acknowledged batches per sensor. Batch b for
+// a sensor covers timestamps [b*10, b*10+9] with value == timestamp,
+// so recovery checks are pure arithmetic.
+func crashWorkload(t *testing.T, r *Router, sensors []string, rounds int) map[string]int {
+	t.Helper()
+	acked := make(map[string]int, len(sensors))
+	for b := 0; b < rounds; b++ {
+		for _, s := range sensors {
+			times := make([]int64, 10)
+			values := make([]float64, 10)
+			for i := range times {
+				times[i] = int64(b*10 + i)
+				values[i] = float64(times[i])
+			}
+			if err := r.InsertBatch(s, times, values); err != nil {
+				return acked
+			}
+			acked[s]++
+		}
+	}
+	return acked
+}
+
+// sensorPerShard picks one sensor routed to each of n shards.
+func sensorPerShard(n int) []string {
+	out := make([]string, n)
+	found := 0
+	for i := 0; found < n; i++ {
+		s := fmt.Sprintf("d%d.s0", i)
+		idx := Index(s, n)
+		if out[idx] == "" {
+			out[idx] = s
+			found++
+		}
+	}
+	return out
+}
+
+// countSuffix counts files under root (recursively) whose name ends in
+// suffix.
+func countSuffix(t *testing.T, root, suffix string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), suffix) {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestShardCrashRecovery kills the "process" at points spread across a
+// sharded ingest run (WALSync=always, so an acknowledged InsertBatch is
+// a durability promise), then recovers from the surviving directory
+// state with the real filesystem and asserts per-shard completeness:
+// every acknowledged batch is queryable in full, no torn or temporary
+// file is served, and quarantined leftovers are reported in Stats.
+func TestShardCrashRecovery(t *testing.T) {
+	const shards = 4
+	const rounds = 12
+	sensors := sensorPerShard(shards)
+
+	cfg := func(dir string, fs faultfs.FS) Config {
+		return Config{
+			Config: engine.Config{
+				Dir:          dir,
+				MemTableSize: 25, // several flushes per shard over the run
+				SyncFlush:    true,
+				WAL:          true,
+				WALSync:      engine.WALSyncAlways,
+				FS:           fs,
+			},
+			ShardCount: shards,
+		}
+	}
+
+	// Calibration pass: count the run's total filesystem operations so
+	// the kill points can be spread across the whole history.
+	calib := faultfs.NewInjector(faultfs.OS, 0)
+	r, err := Open(cfg(t.TempDir(), calib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsAtOpen := calib.Ops()
+	crashWorkload(t, r, sensors, rounds)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := calib.Ops()
+	if total <= opsAtOpen {
+		t.Fatalf("calibration run issued no ingest ops (open=%d total=%d)", opsAtOpen, total)
+	}
+
+	// Kill points: just after open, mid-run, and late in the run.
+	kills := []int64{
+		opsAtOpen + 1,
+		opsAtOpen + (total-opsAtOpen)/4,
+		opsAtOpen + (total-opsAtOpen)/2,
+		opsAtOpen + 3*(total-opsAtOpen)/4,
+		total - 1,
+	}
+	for _, k := range kills {
+		k := k
+		t.Run(fmt.Sprintf("kill=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultfs.NewInjector(faultfs.OS, int(k))
+			var acked map[string]int
+			r, err := Open(cfg(dir, inj))
+			if err == nil {
+				acked = crashWorkload(t, r, sensors, rounds)
+				r.Close() // crashed fs blocks durable mutation; ignore error
+			}
+			if !inj.Crashed() {
+				t.Fatalf("kill point %d never reached (ops=%d)", k, inj.Ops())
+			}
+
+			// Recover with the real filesystem.
+			re, err := Open(cfg(dir, faultfs.OS))
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer re.Close()
+
+			for _, s := range sensors {
+				n := acked[s]
+				if n == 0 {
+					continue
+				}
+				maxT := int64(n*10 - 1)
+				got, err := re.Query(s, 0, 1<<40)
+				if err != nil {
+					t.Fatalf("query %s: %v", s, err)
+				}
+				seen := make(map[int64]bool, len(got))
+				for _, tv := range got {
+					if tv.V != float64(tv.T) {
+						t.Fatalf("%s: torn value at t=%d: got %v", s, tv.T, tv.V)
+					}
+					seen[tv.T] = true
+				}
+				for ts := int64(0); ts <= maxT; ts++ {
+					if !seen[ts] {
+						t.Fatalf("%s: acknowledged point t=%d lost (acked %d batches, kill=%d)", s, ts, n, k)
+					}
+				}
+			}
+
+			// Torn artifacts must be quarantined, reported, and never
+			// served at a readable name.
+			if n := countSuffix(t, dir, ".tmp"); n != 0 {
+				t.Fatalf("%d .tmp file(s) survived recovery", n)
+			}
+			agg, per := re.StatsAll()
+			if want := countSuffix(t, dir, ".quarantine"); agg.QuarantinedFiles != want {
+				t.Fatalf("Stats.QuarantinedFiles = %d, %d .quarantine files on disk", agg.QuarantinedFiles, want)
+			}
+			sum := 0
+			for _, s := range per {
+				sum += s.QuarantinedFiles
+			}
+			if sum != agg.QuarantinedFiles {
+				t.Fatalf("per-shard quarantine sum %d != aggregate %d", sum, agg.QuarantinedFiles)
+			}
+		})
+	}
+}
+
+// TestShardQuarantineReportedInStats plants a half-written chunk file
+// (a crash-leftover .tmp) inside one shard's directory and verifies the
+// reopened router quarantines it, reports it on exactly that shard, and
+// folds it into the aggregate.
+func TestShardQuarantineReportedInStats(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	cfg := Config{
+		Config:     engine.Config{Dir: dir, SyncFlush: true},
+		ShardCount: shards,
+	}
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, fmt.Sprintf(shardDirFmt, 2), "seq-000042.gtsf.tmp")
+	if err := os.WriteFile(victim, []byte("half a flush"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err = Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen with planted .tmp: %v", err)
+	}
+	defer r.Close()
+	agg, per := r.StatsAll()
+	if agg.QuarantinedFiles != 1 {
+		t.Fatalf("aggregate QuarantinedFiles = %d, want 1", agg.QuarantinedFiles)
+	}
+	for i, s := range per {
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if s.QuarantinedFiles != want {
+			t.Fatalf("shard %d QuarantinedFiles = %d, want %d", i, s.QuarantinedFiles, want)
+		}
+	}
+	if _, err := os.Stat(victim + ".quarantine"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+}

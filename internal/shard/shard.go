@@ -320,6 +320,10 @@ func MergeStats(per []engine.Stats) engine.Stats {
 		m.InterfaceSortMillis += s.InterfaceSortMillis
 		m.LockWaits += s.LockWaits
 		m.QueriesBlocked += s.QueriesBlocked
+		m.WALSyncs += s.WALSyncs
+		m.WALCommits += s.WALCommits
+		m.QuarantinedFiles += s.QuarantinedFiles
+		m.RecoveredWALBatches += s.RecoveredWALBatches
 
 		w := float64(s.FlushCount)
 		flushWeight += w

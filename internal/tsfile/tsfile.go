@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/encoding"
+	"repro/internal/faultfs"
 )
 
 const (
@@ -60,21 +61,28 @@ type ChunkMeta struct {
 // Writer writes a tsfile. Chunks append sequentially; Close writes
 // the index and footer. A Writer is not safe for concurrent use.
 type Writer struct {
-	f      *os.File
+	f      faultfs.File
 	w      *bufio.Writer
 	off    int64
 	index  []ChunkMeta
 	closed bool
 	// SyncOnClose forces an fsync in Close. The storage engine leaves
-	// it off — like IoTDB's default flush, durability is the OS page
-	// cache's problem, and a per-file fsync would swamp the flush-time
-	// metric the experiments measure.
+	// it off unless a WAL sync policy is active — like IoTDB's default
+	// flush, durability is the OS page cache's problem, and a per-file
+	// fsync would swamp the flush-time metric the experiments measure.
 	SyncOnClose bool
 }
 
-// Create opens path for writing, truncating any existing file.
+// Create opens path for writing on the real filesystem, truncating any
+// existing file.
 func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
+	return CreateFS(faultfs.OS, path)
+}
+
+// CreateFS opens path for writing through fs, so crash tests can
+// inject faults into the chunk-file write path.
+func CreateFS(fs faultfs.FS, path string) (*Writer, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,13 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 func TestAppendReplay(t *testing.T) {
@@ -125,6 +129,209 @@ func TestSegmentsOrdering(t *testing.T) {
 	}
 	if len(segs) != 3 || filepath.Base(segs[0]) != "wal-000000001.log" || filepath.Base(segs[2]) != "wal-000000010.log" {
 		t.Fatalf("segments = %v", segs)
+	}
+}
+
+func TestSegmentsNumericOrderPastPadding(t *testing.T) {
+	dir := t.TempDir()
+	// 10-digit sequence numbers sort lexically BEFORE 9-digit ones
+	// ("wal-1000000000" < "wal-999999999"); the numeric sort must not.
+	for _, n := range []string{
+		"wal-1000000000.log", // seq 1e9, past the 9-digit padding
+		"wal-999999999.log",  // seq 999,999,999
+		"wal-000000003.log",
+		"wal-not-a-seq.log", // non-conforming: skipped
+		"wal-12x45.log",     // non-conforming: skipped
+	} {
+		if err := os.WriteFile(filepath.Join(dir, n), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wal-000000003.log", "wal-999999999.log", "wal-1000000000.log"}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v", segs)
+	}
+	for i, w := range want {
+		if filepath.Base(segs[i]) != w {
+			t.Fatalf("segments[%d] = %s, want %s (full: %v)", i, filepath.Base(segs[i]), w, segs)
+		}
+	}
+}
+
+func TestSeqFromName(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  int
+		ok   bool
+	}{
+		{"wal-000000001.log", 1, true},
+		{"wal-1000000000.log", 1000000000, true},
+		{"wal-0.log", 0, true},
+		{"wal-.log", 0, false},
+		{"wal-01a.log", 0, false},
+		{"wal-1.txt", 0, false},
+		{"seq-000001.gtsf", 0, false},
+	}
+	for _, c := range cases {
+		seq, ok := SeqFromName(c.name)
+		if ok != c.ok || (ok && seq != c.seq) {
+			t.Errorf("SeqFromName(%q) = %d, %v; want %d, %v", c.name, seq, ok, c.seq, c.ok)
+		}
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 64
+	var appendMu sync.Mutex // the engine serializes appends under its lock
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			appendMu.Lock()
+			err := s.Append("a", []int64{int64(i)}, []float64{float64(i)})
+			appendMu.Unlock()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.Commit()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	syncs, commits := s.stats.Syncs.Load(), s.stats.Commits.Load()
+	if commits != n {
+		t.Fatalf("served %d commits, want %d", commits, n)
+	}
+	if syncs < 1 || syncs > n {
+		t.Fatalf("issued %d syncs for %d commits", syncs, n)
+	}
+	t.Logf("group commit: %d commits over %d fsyncs (mean group %.1f)", commits, syncs, float64(commits)/float64(syncs))
+	// Every committed batch must be durable and replayable.
+	count := 0
+	if err := Replay(path, func(Batch) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("replayed %d batches, want %d", count, n)
+	}
+}
+
+func TestCommitAfterRemoveReturnsNil(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	if err := s.Commit(); err != nil { // start the sync loop
+		t.Fatal(err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("commit on retired segment: %v", err)
+	}
+}
+
+func TestDurableCreateRemoveSyncsDir(t *testing.T) {
+	dir := t.TempDir()
+	ops := make(map[string]int)
+	var mu sync.Mutex
+	fs := &faultfs.HookFS{Under: faultfs.OS, Hook: func(op faultfs.Op, path string) error {
+		mu.Lock()
+		ops[op.String()]++
+		mu.Unlock()
+		return nil
+	}}
+	s, err := CreateFS(fs, filepath.Join(dir, "wal-000000001.log"), Options{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if ops["syncdir"] != 2 {
+		t.Fatalf("durable create+remove must fsync the directory twice, got %d (ops %v)", ops["syncdir"], ops)
+	}
+}
+
+func TestBatchesAndEmpty(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "wal-000000001.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Empty() || s.Batches() != 0 {
+		t.Fatal("fresh segment should be empty")
+	}
+	s.Append("a", []int64{1}, []float64{1})
+	if s.Empty() || s.Batches() != 1 {
+		t.Fatalf("after one append: empty=%v batches=%d", s.Empty(), s.Batches())
+	}
+}
+
+func TestReplayLargeSegmentStreams(t *testing.T) {
+	// A multi-record segment with a torn tail: the streaming reader
+	// must deliver every intact record in order and stop silently.
+	path := filepath.Join(t.TempDir(), "wal-000000001.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 200
+	for i := 0; i < batches; i++ {
+		ts := make([]int64, 50)
+		vs := make([]float64, 50)
+		for j := range ts {
+			ts[j] = int64(i*50 + j)
+			vs[j] = float64(j)
+		}
+		if err := s.Append(fmt.Sprintf("s%d", i%7), ts, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	var lastFirst int64 = -1
+	if err := Replay(path, func(b Batch) error {
+		if b.Times[0] <= lastFirst {
+			return fmt.Errorf("out of order: %d after %d", b.Times[0], lastFirst)
+		}
+		lastFirst = b.Times[0]
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != batches-1 {
+		t.Fatalf("replayed %d batches, want %d (last one torn)", got, batches-1)
 	}
 }
 
