@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/query"
 	"repro/internal/rpc"
 	"repro/internal/shard"
 )
@@ -53,8 +54,16 @@ func main() {
 	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy for the in-process engine: none, interval, or always (non-none implies -wal)")
 	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
 	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
+	aggSmoke := flag.Bool("agg-smoke", false, "run the aggregation-pushdown smoke check (stats pushdown vs decode-all oracle) and exit")
 	flag.Parse()
 
+	if *aggSmoke {
+		if err := runAggSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig != "" {
 		if err := runFigure(*fig, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -214,6 +223,8 @@ func runCell(cc cellConfig) error {
 	}
 	fmt.Printf("  durability: %d wal syncs, %d commits (avg group %.1f), %d quarantined, %d recovered wal batches\n",
 		res.WALSyncs, res.WALCommits, avgGroup, res.QuarantinedFiles, res.RecoveredWALBatches)
+	fmt.Printf("  pruning: %d chunks from stats, %d chunks decoded, %d points skipped\n",
+		res.ChunksFromStats, res.ChunksDecoded, res.PointsSkipped)
 	if len(res.PerShard) > 0 {
 		fmt.Printf("  shards: %d\n", len(res.PerShard))
 		for i, s := range res.PerShard {
@@ -223,4 +234,92 @@ func runCell(cc cellConfig) error {
 	}
 	fmt.Printf("  total test latency: %v\n", res.TotalLatency)
 	return nil
+}
+
+// runAggSmoke is the CI smoke check for aggregation pushdown: it
+// flushes an in-order series into several chunk files, runs a
+// fully-covered window average once through the stats-pushdown path
+// and once through the materializing decode-all oracle, and fails
+// unless the two agree and the pushdown decoded at least 10x fewer
+// points.
+func runAggSmoke() error {
+	const (
+		chunkPts = 20000 // memtable threshold = points per chunk file
+		files    = 10
+		total    = chunkPts * files
+		sensor   = "smoke"
+	)
+	dir, err := os.MkdirTemp("", "tsbench-aggsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := engine.Open(engine.Config{Dir: dir, MemTableSize: chunkPts, SyncFlush: true})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	times := make([]int64, chunkPts)
+	values := make([]float64, chunkPts)
+	for f := 0; f < files; f++ {
+		for i := range times {
+			t := int64(f*chunkPts + i)
+			times[i] = t
+			values[i] = float64(t%977) * 0.5
+		}
+		if err := eng.InsertBatch(sensor, times, values); err != nil {
+			return err
+		}
+	}
+	eng.WaitFlushes()
+
+	// In-order ingestion: every chunk file covers one window exactly,
+	// so a window = chunk-size aggregation over the full range can be
+	// answered entirely from statistics.
+	s0 := eng.Stats()
+	wins, err := query.WindowQuery(eng, sensor, 0, total, chunkPts, query.Avg)
+	if err != nil {
+		return err
+	}
+	s1 := eng.Stats()
+	pts, err := eng.Query(sensor, 0, total-1)
+	if err != nil {
+		return err
+	}
+	oracle, err := query.AggregateWindows(pts, 0, total, chunkPts, query.Avg)
+	if err != nil {
+		return err
+	}
+	s2 := eng.Stats()
+
+	if len(wins) != len(oracle) {
+		return fmt.Errorf("agg-smoke: pushdown returned %d windows, oracle %d", len(wins), len(oracle))
+	}
+	for i := range wins {
+		if wins[i] != oracle[i] {
+			return fmt.Errorf("agg-smoke: window %d mismatch: pushdown %+v, oracle %+v", i, wins[i], oracle[i])
+		}
+	}
+	pushChunks := s1.ChunksDecoded - s0.ChunksDecoded
+	pushSkipped := s1.PointsSkipped - s0.PointsSkipped
+	pushStats := s1.ChunksFromStats - s0.ChunksFromStats
+	decodeAllChunks := s2.ChunksDecoded - s1.ChunksDecoded
+	decodeAllPoints := int64(len(pts))
+	pushPoints := decodeAllPoints - pushSkipped
+	fmt.Printf("agg-smoke: pushdown: %d chunks from stats, %d chunks decoded, %d points decoded, %d points skipped\n",
+		pushStats, pushChunks, pushPoints, pushSkipped)
+	fmt.Printf("agg-smoke: decode-all: %d chunks decoded, %d points decoded\n", decodeAllChunks, decodeAllPoints)
+	if pushPoints*10 > decodeAllPoints {
+		return fmt.Errorf("agg-smoke: pushdown decoded %d of %d points — less than the required 10x reduction", pushPoints, decodeAllPoints)
+	}
+	fmt.Printf("agg-smoke: PASS (%d windows agree; %dx fewer points decoded)\n",
+		len(wins), decodeAllPoints/maxInt64(pushPoints, 1))
+	return nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

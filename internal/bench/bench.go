@@ -206,6 +206,10 @@ type Result struct {
 	WALCommits          int64
 	QuarantinedFiles    int
 	RecoveredWALBatches int64
+	// Aggregation-pushdown pruning counters.
+	ChunksFromStats int64
+	ChunksDecoded   int64
+	PointsSkipped   int64
 	// PerShard holds the per-shard stats breakdown when the target is
 	// sharded (shard router in-process, or a sharded tsdbd over rpc);
 	// nil against an unsharded target.
@@ -418,6 +422,9 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.WALCommits = st.WALCommits
 	res.QuarantinedFiles = st.QuarantinedFiles
 	res.RecoveredWALBatches = st.RecoveredWALBatches
+	res.ChunksFromStats = st.ChunksFromStats
+	res.ChunksDecoded = st.ChunksDecoded
+	res.PointsSkipped = st.PointsSkipped
 	if ss, ok := target.(ShardStatser); ok {
 		per, err := ss.ShardStats()
 		if err != nil {

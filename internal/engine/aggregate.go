@@ -1,0 +1,448 @@
+// Streaming query execution and aggregation pushdown.
+//
+// Query and AggregateWindows share one source model: every generation
+// that can hold data for a sensor — working memtables, flushing units,
+// flushed files — becomes a pointSource yielding records in
+// nondecreasing time order, and a k-way heap merge combines them with
+// rank-based newest-wins dedup (sources are ordered newest-first; on
+// equal timestamps the lowest rank wins, matching the stable-sort
+// semantics the engine has always had). File sources decode one chunk
+// at a time, so a long range scan holds one chunk's points in memory
+// per file rather than materializing everything before sorting.
+//
+// AggregateWindows additionally prunes: a chunk whose index entry
+// carries value statistics is answered from those statistics — without
+// decoding — when the stats provably equal the chunk's contribution to
+// the deduplicated stream. The condition (checked in
+// statsEligible) is:
+//
+//  1. the chunk's time range lies entirely inside the query range and
+//     inside a single window bucket, so every one of its points lands
+//     in that window;
+//  2. no other source — memtable point, flushing point, or any other
+//     chunk of the same sensor — has a timestamp inside the chunk's
+//     [MinTime, MaxTime]. Overlap from a *newer* source could shadow
+//     the chunk's points; overlap from an *older* source could itself
+//     be shadowed; either way the per-point outcome differs from the
+//     raw statistics, so any overlap disqualifies;
+//  3. the chunk has statistics at all — chunks with internal duplicate
+//     timestamps are written without them, because dedup would drop
+//     points the statistics counted.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memtable"
+	"repro/internal/tsfile"
+	"repro/internal/tvlist"
+	"repro/internal/winagg"
+)
+
+// pointSource yields (time, value) records in nondecreasing time
+// order. next returns ok=false when exhausted.
+type pointSource interface {
+	next() (TV, bool, error)
+}
+
+// sliceSource streams a materialized, sorted []TV (memtable and
+// flushing-unit scans).
+type sliceSource struct {
+	buf []TV
+	pos int
+}
+
+func (s *sliceSource) next() (TV, bool, error) {
+	if s.pos >= len(s.buf) {
+		return TV{}, false, nil
+	}
+	tv := s.buf[s.pos]
+	s.pos++
+	return tv, true, nil
+}
+
+// fileSource streams one file's chunks for a sensor, decoding lazily
+// chunk by chunk. It relies on the tsfile invariant (enforced at write
+// and load time) that a sensor's chunks appear in the index in
+// nondecreasing time order.
+type fileSource struct {
+	e          *Engine
+	fh         *fileHandle
+	chunks     []tsfile.ChunkMeta
+	minT, maxT int64
+	buf        []TV
+	pos        int
+}
+
+func (s *fileSource) next() (TV, bool, error) {
+	for {
+		if s.pos < len(s.buf) {
+			tv := s.buf[s.pos]
+			s.pos++
+			return tv, true, nil
+		}
+		if len(s.chunks) == 0 {
+			return TV{}, false, nil
+		}
+		m := s.chunks[0]
+		s.chunks = s.chunks[1:]
+		ts, vs, err := s.fh.reader.ReadChunk(m)
+		if err != nil {
+			return TV{}, false, err
+		}
+		s.e.chunksDecoded.Add(1)
+		s.buf = s.buf[:0]
+		s.pos = 0
+		for i, t := range ts {
+			if t >= s.minT && t <= s.maxT {
+				s.buf = append(s.buf, TV{t, vs[i]})
+			}
+		}
+	}
+}
+
+// mergeHead is one heap slot: the head record of a source plus the
+// source's rank (its position in the newest-first ordering).
+type mergeHead struct {
+	tv   TV
+	rank int
+	src  pointSource
+}
+
+// merge is a k-way heap merge with newest-wins dedup. Sources must be
+// passed newest-first; each yields nondecreasing timestamps.
+type merge struct {
+	heads   []mergeHead
+	emitted bool
+	lastT   int64
+}
+
+func newMerge(sources []pointSource) (*merge, error) {
+	m := &merge{}
+	for rank, src := range sources {
+		tv, ok, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.heads = append(m.heads, mergeHead{tv, rank, src})
+		}
+	}
+	for i := len(m.heads)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m, nil
+}
+
+// less orders heads by (time, rank): earliest first, and on equal
+// timestamps the newest source first — the record dedup keeps.
+func (m *merge) less(a, b int) bool {
+	if m.heads[a].tv.T != m.heads[b].tv.T {
+		return m.heads[a].tv.T < m.heads[b].tv.T
+	}
+	return m.heads[a].rank < m.heads[b].rank
+}
+
+func (m *merge) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(m.heads) && m.less(l, min) {
+			min = l
+		}
+		if r < len(m.heads) && m.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heads[i], m.heads[min] = m.heads[min], m.heads[i]
+		i = min
+	}
+}
+
+// next returns the next deduplicated record in time order.
+func (m *merge) next() (TV, bool, error) {
+	for len(m.heads) > 0 {
+		head := m.heads[0]
+		tv, ok, err := head.src.next()
+		if err != nil {
+			return TV{}, false, err
+		}
+		if ok {
+			m.heads[0].tv = tv
+		} else {
+			last := len(m.heads) - 1
+			m.heads[0] = m.heads[last]
+			m.heads = m.heads[:last]
+		}
+		m.siftDown(0)
+		if m.emitted && head.tv.T == m.lastT {
+			continue // a newer source already supplied this timestamp
+		}
+		m.emitted = true
+		m.lastT = head.tv.T
+		return head.tv, true, nil
+	}
+	return TV{}, false, nil
+}
+
+// querySources is one query's snapshot of the engine: materialized
+// memtable/flushing scans (newest-first) and pinned file handles
+// (newest-first). release must be called when the query finishes.
+type querySources struct {
+	mem   [][]TV
+	files []*fileHandle
+}
+
+func (qs *querySources) release() {
+	for _, fh := range qs.files {
+		fh.release()
+	}
+}
+
+// gatherSources snapshots every source that may hold records of sensor
+// in [minT, maxT], ordered newest generation first (within a
+// generation, unsequence before sequence). The engine lock is held
+// only to snapshot; sorting and scanning of snapshotted chunks happen
+// after it is released. Config.LegacyLockedQueries restores the
+// paper's behavior of sorting the live working TVLists under the lock.
+func (e *Engine) gatherSources(sensor string, minT, maxT int64) (*querySources, error) {
+	qs := &querySources{}
+
+	e.lockContended(true)
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: closed")
+	}
+	var workChunks []*tvlist.TVList[float64]
+	if e.cfg.LegacyLockedQueries {
+		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
+			if chunk := mt.Chunk(sensor); chunk != nil {
+				e.sortChunk(chunk)
+				if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
+					qs.mem = append(qs.mem, out)
+				}
+			}
+		}
+	} else {
+		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
+			if c := mt.SnapshotChunk(sensor); c != nil {
+				workChunks = append(workChunks, c)
+			}
+		}
+	}
+	unitRefs := append([]*flushUnit(nil), e.flushing...)
+	for i := len(e.files) - 1; i >= 0; i-- {
+		fh := e.files[i]
+		fh.acquire()
+		qs.files = append(qs.files, fh)
+	}
+	e.mu.Unlock()
+
+	// Snapshotted working chunks: sorted and scanned outside the lock;
+	// writers proceed in parallel.
+	for _, c := range workChunks {
+		e.sortChunk(c)
+		if out := scanChunk(c, minT, maxT); len(out) > 0 {
+			qs.mem = append(qs.mem, out)
+		}
+	}
+
+	// Flushing units newest-first, so an in-flight rewrite outranks
+	// the older in-flight generation it rewrites.
+	for i := len(unitRefs) - 1; i >= 0; i-- {
+		unit := unitRefs[i]
+		for _, mt := range []*memtable.MemTable{unit.unseq, unit.seq} {
+			chunk := mt.Chunk(sensor)
+			if chunk == nil {
+				continue
+			}
+			mu := unit.lockChunk(chunk)
+			mu.Lock()
+			e.sortChunk(chunk)
+			out := scanChunk(chunk, minT, maxT)
+			mu.Unlock()
+			if len(out) > 0 {
+				qs.mem = append(qs.mem, out)
+			}
+		}
+	}
+	return qs, nil
+}
+
+// overlapping returns fh's chunks for sensor that intersect
+// [minT, maxT], in index (time) order.
+func overlapping(fh *fileHandle, sensor string, minT, maxT int64) []tsfile.ChunkMeta {
+	var out []tsfile.ChunkMeta
+	for _, m := range fh.index {
+		if m.Sensor == sensor && m.MaxTime >= minT && m.MinTime <= maxT {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// anyPointIn reports whether the sorted scan holds a timestamp in
+// [lo, hi].
+func anyPointIn(scan []TV, lo, hi int64) bool {
+	i := sort.Search(len(scan), func(i int) bool { return scan[i].T >= lo })
+	return i < len(scan) && scan[i].T <= hi
+}
+
+// statsContrib is one stats-answered chunk, folded into its window at
+// minTime (sound: no other contribution lies inside the chunk's
+// range, so time order is preserved).
+type statsContrib struct {
+	minTime int64
+	count   int
+	stats   *tsfile.ValueStats
+}
+
+// AggregateWindows evaluates op over window-sized buckets of the
+// half-open range [startT, endT): windows start at
+// startT + k·window, empty windows are omitted, and results arrive in
+// start order. When the same timestamp appears in multiple generations
+// the newest write wins, exactly as in Query.
+//
+// Chunks whose statistics provably equal their contribution to the
+// deduplicated stream (see statsEligible) are answered from the index
+// without decoding; everything else streams through the same merge
+// Query uses, so memory stays O(windows) + one chunk per file.
+func (e *Engine) AggregateWindows(sensor string, startT, endT, window int64, op winagg.Op) ([]winagg.Window, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("engine: window must be positive, got %d", window)
+	}
+	if !op.Valid() {
+		return nil, fmt.Errorf("engine: unknown aggregate op %d", int(op))
+	}
+	if err := e.FlushError(); err != nil {
+		return nil, err
+	}
+	if endT <= startT {
+		return nil, nil
+	}
+	maxT := endT - 1 // endT > startT, so this cannot underflow
+
+	qs, err := e.gatherSources(sensor, startT, maxT)
+	if err != nil {
+		return nil, err
+	}
+	defer qs.release()
+
+	// Partition each file's overlapping chunks into stats-answered and
+	// must-decode. The overlap check needs every candidate chunk across
+	// all files: any chunk fully inside the query range can only
+	// overlap chunks that also intersect the range.
+	perFile := make([][]tsfile.ChunkMeta, len(qs.files))
+	var all []tsfile.ChunkMeta
+	for i, fh := range qs.files {
+		perFile[i] = overlapping(fh, sensor, startT, maxT)
+		all = append(all, perFile[i]...)
+	}
+	var contribs []statsContrib
+	srcs := make([]pointSource, 0, len(qs.mem)+len(qs.files))
+	for _, s := range qs.mem {
+		srcs = append(srcs, &sliceSource{buf: s})
+	}
+	seen := 0
+	for i, fh := range qs.files {
+		decode := perFile[i][:0]
+		for j, m := range perFile[i] {
+			if e.statsEligible(m, seen+j, all, qs.mem, startT, maxT, window) {
+				contribs = append(contribs, statsContrib{m.MinTime, m.Count, m.Stats})
+				e.chunksFromStats.Add(1)
+				e.pointsSkipped.Add(int64(m.Count))
+			} else {
+				decode = append(decode, m)
+			}
+		}
+		seen += len(perFile[i])
+		if len(decode) > 0 {
+			srcs = append(srcs, &fileSource{e: e, fh: fh, chunks: decode, minT: startT, maxT: maxT})
+		}
+	}
+	sort.Slice(contribs, func(a, b int) bool { return contribs[a].minTime < contribs[b].minTime })
+
+	m, err := newMerge(srcs)
+	if err != nil {
+		return nil, err
+	}
+	accs := make(map[int64]*winagg.Acc)
+	get := func(ws int64) *winagg.Acc {
+		acc := accs[ws]
+		if acc == nil {
+			acc = &winagg.Acc{Op: op}
+			accs[ws] = acc
+		}
+		return acc
+	}
+	fold := func(c statsContrib) {
+		ws := winagg.WindowStart(startT, c.minTime, window)
+		get(ws).AddStats(c.count, c.stats.Min, c.stats.Max, c.stats.Sum, c.stats.First, c.stats.Last)
+	}
+	ci := 0
+	for {
+		tv, ok, err := m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// A stats chunk whose range precedes this point is complete:
+		// eligibility guarantees no point falls inside its range, so
+		// minTime <= tv.T implies the whole chunk is earlier.
+		for ci < len(contribs) && contribs[ci].minTime <= tv.T {
+			fold(contribs[ci])
+			ci++
+		}
+		get(winagg.WindowStart(startT, tv.T, window)).AddPoint(tv.V)
+	}
+	for ; ci < len(contribs); ci++ {
+		fold(contribs[ci])
+	}
+
+	starts := make([]int64, 0, len(accs))
+	for ws := range accs {
+		starts = append(starts, ws)
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	out := make([]winagg.Window, len(starts))
+	for i, ws := range starts {
+		acc := accs[ws]
+		out[i] = winagg.Window{Start: ws, Count: acc.Count(), Value: acc.Result()}
+	}
+	return out, nil
+}
+
+// statsEligible reports whether chunk m (at position self in all) may
+// be answered from its index statistics for a window aggregation over
+// [startT, maxT] (inclusive): it must carry statistics, lie entirely
+// inside the range and inside one window bucket, and no memtable point
+// or other chunk of the sensor may have a timestamp inside its
+// [MinTime, MaxTime] — any such overlap lets newest-wins dedup change
+// the chunk's effective contribution.
+func (e *Engine) statsEligible(m tsfile.ChunkMeta, self int, all []tsfile.ChunkMeta, mem [][]TV, startT, maxT, window int64) bool {
+	if m.Stats == nil || m.MinTime < startT || m.MaxTime > maxT {
+		return false
+	}
+	if winagg.WindowStart(startT, m.MinTime, window) != winagg.WindowStart(startT, m.MaxTime, window) {
+		return false
+	}
+	for i, o := range all {
+		if i == self {
+			continue
+		}
+		if o.MaxTime >= m.MinTime && o.MinTime <= m.MaxTime {
+			return false
+		}
+	}
+	for _, scan := range mem {
+		if anyPointIn(scan, m.MinTime, m.MaxTime) {
+			return false
+		}
+	}
+	return true
+}

@@ -26,7 +26,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -185,6 +184,12 @@ type Stats struct {
 	WALCommits          int64 // commit tickets served by those fsyncs
 	QuarantinedFiles    int   // torn/corrupt files quarantined at recovery
 	RecoveredWALBatches int64 // batches replayed from WAL at recovery
+	// Aggregation-pushdown pruning counters: chunks answered from
+	// index statistics without decoding (and the points that skipped
+	// decoding as a result) vs chunks the read path actually decoded.
+	ChunksFromStats int64
+	ChunksDecoded   int64
+	PointsSkipped   int64
 }
 
 // Engine is the storage engine. All methods are safe for concurrent
@@ -264,6 +269,12 @@ type Engine struct {
 	ifaceSorts     atomic.Int64
 	flatSortNanos  atomic.Int64
 	ifaceSortNanos atomic.Int64
+
+	// Aggregation-pushdown observability (lock-free; Query and
+	// AggregateWindows feed them).
+	chunksFromStats atomic.Int64
+	chunksDecoded   atomic.Int64
+	pointsSkipped   atomic.Int64
 }
 
 // flushUnit is one immutable memtable pair being drained. Its chunks
@@ -912,151 +923,49 @@ func (e *Engine) Flush() {
 // order. When the same timestamp appears in multiple generations the
 // newest write wins (unsequence over flushed, memtable over files).
 //
-// The engine lock is held only to snapshot: working chunks are copied
-// (O(points) memcpy), flushing units and file handles are captured by
-// reference — units are immutable and per-chunk mutexes serialize
-// their in-place sorts, files are pinned by reference counting. All
-// sorting happens after the lock is released, and the TVList sorted
-// flag means a chunk that was already sorted (by a drain or an earlier
-// query) is never re-sorted. Config.LegacyLockedQueries restores the
-// paper's behavior of sorting the live working TVLists under the lock,
-// blocking writers.
+// The engine lock is held only to snapshot (see gatherSources); the
+// result is then produced by a streaming k-way merge over the
+// snapshotted sources with rank-based newest-wins dedup, decoding file
+// chunks lazily — one chunk per file is in memory at a time instead of
+// every overlapping chunk at once. Config.LegacyLockedQueries restores
+// the paper's behavior of sorting the live working TVLists under the
+// lock, blocking writers.
 func (e *Engine) Query(sensor string, minT, maxT int64) ([]TV, error) {
 	if err := e.FlushError(); err != nil {
 		return nil, err
 	}
-	var sources [][]TV
-
-	e.lockContended(true)
-	if e.closed {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("engine: closed")
+	if minT > maxT {
+		return nil, nil
 	}
-	// Sources are gathered newest generation first; within a
-	// generation, unsequence data is newer than sequence.
-	var workChunks []*tvlist.TVList[float64]
-	if e.cfg.LegacyLockedQueries {
-		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
-			if chunk := mt.Chunk(sensor); chunk != nil {
-				e.sortChunk(chunk)
-				if out := scanChunk(chunk, minT, maxT); len(out) > 0 {
-					sources = append(sources, out)
-				}
-			}
-		}
-	} else {
-		for _, mt := range []*memtable.MemTable{e.workingUn, e.working} {
-			if c := mt.SnapshotChunk(sensor); c != nil {
-				workChunks = append(workChunks, c)
-			}
+	qs, err := e.gatherSources(sensor, minT, maxT)
+	if err != nil {
+		return nil, err
+	}
+	defer qs.release()
+	srcs := make([]pointSource, 0, len(qs.mem)+len(qs.files))
+	for _, s := range qs.mem {
+		srcs = append(srcs, &sliceSource{buf: s})
+	}
+	for _, fh := range qs.files {
+		if chunks := overlapping(fh, sensor, minT, maxT); len(chunks) > 0 {
+			srcs = append(srcs, &fileSource{e: e, fh: fh, chunks: chunks, minT: minT, maxT: maxT})
 		}
 	}
-	unitRefs := append([]*flushUnit(nil), e.flushing...)
-	fileRefs := append([]*fileHandle(nil), e.files...)
-	for _, fh := range fileRefs {
-		fh.acquire()
+	m, err := newMerge(srcs)
+	if err != nil {
+		return nil, err
 	}
-	e.mu.Unlock()
-	defer func() {
-		for _, fh := range fileRefs {
-			fh.release()
-		}
-	}()
-
-	// Snapshotted working chunks: sorted and scanned outside the lock;
-	// writers proceed in parallel.
-	for _, c := range workChunks {
-		e.sortChunk(c)
-		if out := scanChunk(c, minT, maxT); len(out) > 0 {
-			sources = append(sources, out)
-		}
-	}
-
-	// Flushing units newest-first, so an in-flight rewrite outranks
-	// the older in-flight generation it rewrites.
-	for i := len(unitRefs) - 1; i >= 0; i-- {
-		unit := unitRefs[i]
-		for _, mt := range []*memtable.MemTable{unit.unseq, unit.seq} {
-			chunk := mt.Chunk(sensor)
-			if chunk == nil {
-				continue
-			}
-			mu := unit.lockChunk(chunk)
-			mu.Lock()
-			e.sortChunk(chunk)
-			out := scanChunk(chunk, minT, maxT)
-			mu.Unlock()
-			if len(out) > 0 {
-				sources = append(sources, out)
-			}
-		}
-	}
-
-	// Files newest-first, so the rank-based dedup below gives a
-	// rewritten timestamp its most recent flushed value.
-	for i := len(fileRefs) - 1; i >= 0; i-- {
-		ts, vs, err := fileRefs[i].reader.QuerySensor(sensor, minT, maxT)
+	var out []TV
+	for {
+		tv, ok, err := m.next()
 		if err != nil {
 			return nil, err
 		}
-		if len(ts) > 0 {
-			out := make([]TV, len(ts))
-			for j := range ts {
-				out[j] = TV{ts[j], vs[j]}
-			}
-			sources = append(sources, out)
-		}
-	}
-
-	switch len(sources) {
-	case 0:
-		return nil, nil
-	case 1:
-		return dedupSorted(sources[0]), nil
-	}
-	// Newest-wins dedup: sources were gathered newest-first (working
-	// memtable before flushing units before files), so on equal
-	// timestamps keep the record from the earliest-listed source.
-	var all []TV
-	rank := make([]int, 0)
-	for si, src := range sources {
-		for _, tv := range src {
-			all = append(all, tv)
-			rank = append(rank, si)
-		}
-	}
-	idx := make([]int, len(all))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if all[ia].T != all[ib].T {
-			return all[ia].T < all[ib].T
-		}
-		return rank[ia] < rank[ib]
-	})
-	out := make([]TV, 0, len(all))
-	for _, i := range idx {
-		if len(out) > 0 && out[len(out)-1].T == all[i].T {
-			continue // an earlier (newer-source) record already holds this timestamp
-		}
-		out = append(out, all[i])
-	}
-	return out, nil
-}
-
-// dedupSorted collapses equal timestamps in a sorted result to one
-// record (a rewrite of the same timestamp within one generation).
-func dedupSorted(in []TV) []TV {
-	out := in[:0]
-	for i, tv := range in {
-		if i > 0 && out[len(out)-1].T == tv.T {
-			continue
+		if !ok {
+			return out, nil
 		}
 		out = append(out, tv)
 	}
-	return out
 }
 
 func scanChunk(chunk *tvlist.TVList[float64], minT, maxT int64) []TV {
@@ -1122,6 +1031,9 @@ func (e *Engine) Stats() Stats {
 	}
 	s.WALSyncs = e.walStats.Syncs.Load()
 	s.WALCommits = e.walStats.Commits.Load()
+	s.ChunksFromStats = e.chunksFromStats.Load()
+	s.ChunksDecoded = e.chunksDecoded.Load()
+	s.PointsSkipped = e.pointsSkipped.Load()
 	e.statsMu.Lock()
 	s.QuarantinedFiles = e.quarantined
 	s.RecoveredWALBatches = e.recoveredBatches

@@ -3,50 +3,38 @@
 // (Section VI-E: "computing the average speed of an engine in every
 // minute" gives incorrect statistics on disordered data). Aggregations
 // run over the sorted record streams the engine's range queries
-// return, in a single pass.
+// return, in a single pass — or, when the source can evaluate windows
+// itself, are pushed down so the engine answers whole chunks from
+// index statistics without decoding them.
+//
+// All aggregation ranges in this package are half-open: a query over
+// [startT, endT) includes startT and excludes endT. tsql compiles its
+// inclusive time predicates to this convention (time <= T becomes
+// endT = T+1).
 package query
 
 import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/winagg"
 )
 
-// Aggregator selects the per-window aggregate function.
-type Aggregator int
+// Aggregator selects the per-window aggregate function. It aliases
+// winagg.Op, the representation shared with the engine's pushdown
+// path and the RPC wire encoding.
+type Aggregator = winagg.Op
 
 // Supported aggregate functions.
 const (
-	Count Aggregator = iota
-	Sum
-	Avg
-	Min
-	Max
-	First
-	Last
+	Count = winagg.Count
+	Sum   = winagg.Sum
+	Avg   = winagg.Avg
+	Min   = winagg.Min
+	Max   = winagg.Max
+	First = winagg.First
+	Last  = winagg.Last
 )
-
-// String returns the SQL-ish name of the aggregator.
-func (a Aggregator) String() string {
-	switch a {
-	case Count:
-		return "count"
-	case Sum:
-		return "sum"
-	case Avg:
-		return "avg"
-	case Min:
-		return "min"
-	case Max:
-		return "max"
-	case First:
-		return "first"
-	case Last:
-		return "last"
-	default:
-		return fmt.Sprintf("Aggregator(%d)", int(a))
-	}
-}
 
 // WindowResult is one aggregated window [Start, Start+Width).
 type WindowResult struct {
@@ -70,6 +58,14 @@ func AggregateWindows(points []engine.TV, startT, endT, window int64, agg Aggreg
 	}
 	var out []WindowResult
 	var cur *WindowResult
+	var acc winagg.Acc
+	flush := func() {
+		if cur != nil {
+			cur.Count = acc.Count()
+			cur.Value = acc.Result()
+			out = append(out, *cur)
+		}
+	}
 	prevT := int64(0)
 	for i, p := range points {
 		if i > 0 && p.T < prevT {
@@ -79,51 +75,16 @@ func AggregateWindows(points []engine.TV, startT, endT, window int64, agg Aggreg
 		if p.T < startT || p.T >= endT {
 			continue
 		}
-		ws := startT + ((p.T-startT)/window)*window
+		ws := winagg.WindowStart(startT, p.T, window)
 		if cur == nil || cur.Start != ws {
-			if cur != nil {
-				finalize(cur, agg)
-				out = append(out, *cur)
-			}
+			flush()
 			cur = &WindowResult{Start: ws}
+			acc = winagg.Acc{Op: agg}
 		}
-		accumulate(cur, p.V, agg)
+		acc.AddPoint(p.V)
 	}
-	if cur != nil {
-		finalize(cur, agg)
-		out = append(out, *cur)
-	}
+	flush()
 	return out, nil
-}
-
-func accumulate(w *WindowResult, v float64, agg Aggregator) {
-	w.Count++
-	switch agg {
-	case Count:
-		w.Value = float64(w.Count)
-	case Sum, Avg:
-		w.Value += v
-	case Min:
-		if w.Count == 1 || v < w.Value {
-			w.Value = v
-		}
-	case Max:
-		if w.Count == 1 || v > w.Value {
-			w.Value = v
-		}
-	case First:
-		if w.Count == 1 {
-			w.Value = v
-		}
-	case Last:
-		w.Value = v
-	}
-}
-
-func finalize(w *WindowResult, agg Aggregator) {
-	if agg == Avg && w.Count > 0 {
-		w.Value /= float64(w.Count)
-	}
 }
 
 // Source is anything that can answer sorted time-range queries — a
@@ -133,10 +94,47 @@ type Source interface {
 	Query(sensor string, minT, maxT int64) ([]engine.TV, error)
 }
 
-// WindowQuery runs a time-range query on the source and aggregates the
-// result — SELECT agg(value) FROM sensor WHERE startT <= time < endT
-// GROUP BY window.
+// WindowAggregator is implemented by sources that evaluate windowed
+// aggregates themselves: the engine pushes them down onto chunk
+// statistics, and the shard router routes to the owning shard.
+// WindowQuery prefers this path when available.
+type WindowAggregator interface {
+	AggregateWindows(sensor string, startT, endT, window int64, op winagg.Op) ([]winagg.Window, error)
+}
+
+// WindowQuery runs a windowed aggregation on the source — SELECT
+// agg(value) FROM sensor WHERE startT <= time < endT GROUP BY window.
+// The range is half-open: endT itself is excluded. An empty range
+// (endT <= startT... strictly, endT == startT) yields no windows;
+// endT < startT is an error, matching AggregateWindows.
+//
+// Sources implementing WindowAggregator answer via pushdown; others
+// are range-queried and aggregated here. Both produce identical
+// results — the pushdown property test asserts it.
 func WindowQuery(e Source, sensor string, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("query: window must be positive, got %d", window)
+	}
+	if endT < startT {
+		return nil, fmt.Errorf("query: empty range [%d, %d)", startT, endT)
+	}
+	if endT == startT {
+		// Also the guard that keeps endT-1 below from underflowing
+		// when endT == math.MinInt64 (endT < startT was ruled out, so
+		// startT == MinInt64 too and the range is empty).
+		return nil, nil
+	}
+	if wa, ok := e.(WindowAggregator); ok {
+		ws, err := wa.AggregateWindows(sensor, startT, endT, window, agg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]WindowResult, len(ws))
+		for i, w := range ws {
+			out[i] = WindowResult{Start: w.Start, Count: w.Count, Value: w.Value}
+		}
+		return out, nil
+	}
 	points, err := e.Query(sensor, startT, endT-1)
 	if err != nil {
 		return nil, err

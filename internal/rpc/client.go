@@ -243,9 +243,10 @@ func (c *Client) ShardStats() ([]engine.Stats, error) {
 
 // StatsFull returns the aggregate stats and the per-shard breakdown
 // from a single OpStats exchange. A legacy (version-1) stats payload
-// carries no per-shard extension (the breakdown is nil then), and a
+// carries no per-shard extension (the breakdown is nil then), a
 // version-2 payload carries no durability extension (the durability
-// counters stay zero).
+// counters stay zero), and a version-3 payload carries no pruning
+// extension (the pruning counters stay zero).
 func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	resp, err := c.callIdempotent(OpStats, nil)
 	if err != nil {
@@ -282,6 +283,17 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	}
 	for i := range per {
 		if err := p.durability(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-3 payload: no pruning extension
+	}
+	if err := p.pruning(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.pruning(&per[i]); err != nil {
 			return st, per, err
 		}
 	}

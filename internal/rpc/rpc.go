@@ -26,10 +26,14 @@
 //	    blocks: one durability block (WAL syncs, WAL commits,
 //	    quarantined files, recovered WAL batches — all varints) for
 //	    the aggregate, then one per shard
+//	4 — OpStats appends a pruning extension after the durability
+//	    blocks: one pruning block (chunks answered from statistics,
+//	    chunks decoded, points that skipped decoding — all varints)
+//	    for the aggregate, then one per shard
 //
 // Extensions are strictly trailing, so a newer client reads an older
-// payload by what remains: the per-shard extension and the durability
-// extension are each detected by remaining payload bytes.
+// payload by what remains: the per-shard, durability and pruning
+// extensions are each detected by remaining payload bytes.
 package rpc
 
 import (
@@ -56,7 +60,7 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 3
+const ProtocolVersion = 4
 
 // protocolMagic opens every handshake payload. Four printable bytes so
 // an accidental connection from an unrelated protocol is rejected with
@@ -284,5 +288,29 @@ func (p *payloadReader) durability(st *engine.Stats) error {
 	}
 	st.QuarantinedFiles = int(v)
 	st.RecoveredWALBatches, err = p.varint()
+	return err
+}
+
+// appendPruning encodes the version-4 aggregation-pushdown counters
+// for one stats snapshot. The block trails the durability extension so
+// older clients, which stop reading earlier, are unaffected.
+func appendPruning(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, st.ChunksFromStats)
+	b = binary.AppendVarint(b, st.ChunksDecoded)
+	b = binary.AppendVarint(b, st.PointsSkipped)
+	return b
+}
+
+// pruning decodes one pruning block into st (the inverse of
+// appendPruning).
+func (p *payloadReader) pruning(st *engine.Stats) error {
+	var err error
+	if st.ChunksFromStats, err = p.varint(); err != nil {
+		return err
+	}
+	if st.ChunksDecoded, err = p.varint(); err != nil {
+		return err
+	}
+	st.PointsSkipped, err = p.varint()
 	return err
 }

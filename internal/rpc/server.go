@@ -224,8 +224,9 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		// version-2 per-shard extension (absent shards encode as 0, so
 		// clients against a bare engine see an empty breakdown), then
 		// the version-3 durability extension (aggregate block + one per
-		// shard). Older clients stop reading before the extensions they
-		// do not know.
+		// shard), then the version-4 pruning extension in the same
+		// aggregate-then-per-shard shape. Older clients stop reading
+		// before the extensions they do not know.
 		var resp []byte
 		if sb, ok := s.eng.(shardedBackend); ok {
 			merged, per := sb.StatsAll()
@@ -238,11 +239,16 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendDurability(resp, shardStats)
 			}
+			resp = appendPruning(resp, merged)
+			for _, shardStats := range per {
+				resp = appendPruning(resp, shardStats)
+			}
 		} else {
 			st := s.eng.Stats()
 			resp = appendStats(nil, st)
 			resp = binary.AppendUvarint(resp, 0)
 			resp = appendDurability(resp, st)
+			resp = appendPruning(resp, st)
 		}
 		return resp, nil
 

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/winagg"
 )
 
 // Config configures a Router. The embedded engine.Config is the
@@ -177,9 +178,18 @@ func (r *Router) LatestTime(sensor string) (int64, bool) {
 }
 
 // Aggregate runs a windowed aggregation over sensor on its shard:
-// SELECT agg(value) GROUP BY window over [startT, endT).
+// SELECT agg(value) GROUP BY window over the half-open [startT, endT).
 func (r *Router) Aggregate(sensor string, startT, endT, window int64, agg query.Aggregator) ([]query.WindowResult, error) {
 	return query.WindowQuery(r.shardFor(sensor), sensor, startT, endT, window, agg)
+}
+
+// AggregateWindows evaluates a windowed aggregate directly on the
+// owning shard's engine. It makes the Router satisfy
+// query.WindowAggregator, so query.WindowQuery over a Router keeps the
+// engine's statistics pushdown instead of falling back to a
+// materializing range query.
+func (r *Router) AggregateWindows(sensor string, startT, endT, window int64, op winagg.Op) ([]winagg.Window, error) {
+	return r.shardFor(sensor).AggregateWindows(sensor, startT, endT, window, op)
 }
 
 // fanOut runs f on every shard concurrently and returns the first
@@ -324,6 +334,9 @@ func MergeStats(per []engine.Stats) engine.Stats {
 		m.WALCommits += s.WALCommits
 		m.QuarantinedFiles += s.QuarantinedFiles
 		m.RecoveredWALBatches += s.RecoveredWALBatches
+		m.ChunksFromStats += s.ChunksFromStats
+		m.ChunksDecoded += s.ChunksDecoded
+		m.PointsSkipped += s.PointsSkipped
 
 		w := float64(s.FlushCount)
 		flushWeight += w

@@ -1,0 +1,79 @@
+package tsfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeed builds a small valid v2 file and returns its raw bytes.
+func fuzzSeed(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	path := filepath.Join(dir, "seed.gtsf")
+	w, err := Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteChunk("s1", []int64{1, 2, 3}, []float64{1.5, -2, 3}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteChunk("s2", []int64{10, 20}, []float64{7, 8}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "i", []int64{5, 6}, []int64{100, 200}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "t", []int64{5, 6}, []string{"a", "bb"}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzOpen feeds arbitrary bytes through the full read path: Open,
+// index iteration, ReadChunk, ReadTypedChunk, and QuerySensor. The
+// invariant under test is that hostile input produces an error (almost
+// always ErrCorrupt), never a panic, hang, or unbounded allocation.
+func FuzzOpen(f *testing.F) {
+	seed := fuzzSeed(f)
+	f.Add(seed)
+	// A few targeted mutations so the corpus starts near the
+	// interesting surfaces: footer, index offset, index body.
+	for _, i := range []int{len(seed) - 1, len(seed) - 9, len(seed) - 17, len(seed) / 2, 0} {
+		if i >= 0 && i < len(seed) {
+			mut := append([]byte(nil), seed...)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // keep iterations fast; size bugs are offset bugs
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.gtsf")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		r, err := Open(path)
+		if err != nil {
+			return // rejected cleanly — fine
+		}
+		defer r.Close()
+		for _, m := range r.Index() {
+			r.ReadChunk(m)
+			r.ReadTypedChunk(m)
+			r.QuerySensor(m.Sensor, m.MinTime, m.MaxTime)
+		}
+	})
+}

@@ -15,8 +15,15 @@
 //	             uint32  CRC-32 (IEEE) of the chunk payload
 //	index    — uvarint entryCount, then per chunk:
 //	             uvarint nameLen, name, uvarint offset, uvarint count,
-//	             varint minTime, varint maxTime
-//	footer   — 8-byte little-endian index offset, magic "GTSFEND1"
+//	             varint minTime, varint maxTime,
+//	             byte flags, [5 × float64 value statistics when flags&1]
+//	footer   — 8-byte little-endian index offset, magic "GTSFEND2"
+//
+// The footer magic doubles as the index format version: files ending
+// in "GTSFEND1" carry the original statistics-free index (entries stop
+// after maxTime) and remain fully readable — their chunks simply have
+// no value statistics, so aggregation pushdown never answers from them
+// and always decodes. New files are always written in the v2 format.
 //
 // Sorted regular timestamps compress to ~1–2 bytes each under TS2Diff
 // (IoTDB's TS_2DIFF family) and slowly varying values to a few bits
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/encoding"
@@ -37,9 +45,14 @@ import (
 )
 
 const (
-	magicHead = "GTSF0001"
-	magicTail = "GTSFEND1"
+	magicHead   = "GTSF0001"
+	magicTailV1 = "GTSFEND1" // statistics-free index entries
+	magicTailV2 = "GTSFEND2" // entries carry a flags byte + value statistics
 )
+
+// tailLen is the footer size: 8-byte index offset + 8-byte magic,
+// identical across index versions.
+const tailLen = int64(8 + len(magicTailV1))
 
 // ErrCorrupt is wrapped by every integrity failure the reader detects.
 var ErrCorrupt = errors.New("tsfile: corrupt file")
@@ -49,23 +62,42 @@ var ErrCorrupt = errors.New("tsfile: corrupt file")
 // that identifies typed chunks.
 const maxSensorName = 120
 
-// ChunkMeta describes one chunk in a file's index.
+// ValueStats summarizes a chunk's value column, written into the v2
+// index at flush/compaction time so windowed aggregations can answer
+// from metadata without decoding the chunk (count lives in
+// ChunkMeta.Count). First and Last are the values at the chunk's
+// earliest and latest timestamps.
+type ValueStats struct {
+	Min   float64
+	Max   float64
+	Sum   float64
+	First float64
+	Last  float64
+}
+
+// ChunkMeta describes one chunk in a file's index. Stats is nil when
+// the chunk carries no value statistics: v1 files, typed chunks whose
+// column has no float statistics, and chunks containing duplicate
+// timestamps (whose statistics would disagree with the deduplicated
+// stream queries return).
 type ChunkMeta struct {
 	Sensor  string
 	Offset  int64
 	Count   int
 	MinTime int64
 	MaxTime int64
+	Stats   *ValueStats
 }
 
 // Writer writes a tsfile. Chunks append sequentially; Close writes
 // the index and footer. A Writer is not safe for concurrent use.
 type Writer struct {
-	f      faultfs.File
-	w      *bufio.Writer
-	off    int64
-	index  []ChunkMeta
-	closed bool
+	f       faultfs.File
+	w       *bufio.Writer
+	off     int64
+	index   []ChunkMeta
+	lastMax map[string]int64 // per-sensor max time of the last appended chunk
+	closed  bool
 	// SyncOnClose forces an fsync in Close. The storage engine leaves
 	// it off unless a WAL sync policy is active — like IoTDB's default
 	// flush, durability is the OS page cache's problem, and a per-file
@@ -86,7 +118,7 @@ func CreateFS(fs faultfs.FS, path string) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	w := &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16), lastMax: make(map[string]int64)}
 	if _, err := w.w.WriteString(magicHead); err != nil {
 		f.Close()
 		return nil, err
@@ -126,9 +158,13 @@ func EncodeChunk(sensor string, times []int64, values []float64) (*EncodedChunk,
 	if len(sensor) > maxSensorName {
 		return nil, fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
 	}
+	dup := false
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {
 			return nil, fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
+		}
+		if times[i] == times[i-1] {
+			dup = true
 		}
 	}
 	payload := encodeChunk(sensor, times, values)
@@ -138,10 +174,34 @@ func EncodeChunk(sensor string, times []int64, values []float64) (*EncodedChunk,
 			Count:   len(times),
 			MinTime: times[0],
 			MaxTime: times[len(times)-1],
+			Stats:   computeStats(values, dup),
 		},
 		payload: payload,
 		crc:     crc32.ChecksumIEEE(payload),
 	}, nil
+}
+
+// computeStats summarizes a sorted chunk's value column. A chunk with
+// duplicate timestamps gets no statistics: queries deduplicate equal
+// timestamps, so stats over the raw points would overcount.
+func computeStats(values []float64, hasDupTimes bool) *ValueStats {
+	if hasDupTimes || len(values) == 0 {
+		return nil
+	}
+	s := &ValueStats{
+		Min: values[0], Max: values[0],
+		First: values[0], Last: values[len(values)-1],
+	}
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Sum += v
+	}
+	return s
 }
 
 // AppendEncoded appends a chunk prepared by EncodeChunk. Like the rest
@@ -152,6 +212,14 @@ func (w *Writer) AppendEncoded(enc *EncodedChunk) error {
 		return errors.New("tsfile: write after Close")
 	}
 	meta := enc.Meta
+	// Same-sensor chunks must land in nondecreasing time order:
+	// QuerySensor and the engine's streaming merge return their
+	// concatenation as "sorted" without re-checking.
+	if last, ok := w.lastMax[meta.Sensor]; ok && meta.MinTime < last {
+		return fmt.Errorf("tsfile: chunk for %q out of time order: min %d after previous max %d",
+			meta.Sensor, meta.MinTime, last)
+	}
+	w.lastMax[meta.Sensor] = meta.MaxTime
 	meta.Offset = w.off
 	if _, err := w.w.Write(enc.payload); err != nil {
 		return err
@@ -191,6 +259,14 @@ func (w *Writer) Close() error {
 		idx = binary.AppendUvarint(idx, uint64(m.Count))
 		idx = binary.AppendVarint(idx, m.MinTime)
 		idx = binary.AppendVarint(idx, m.MaxTime)
+		if m.Stats == nil {
+			idx = append(idx, 0)
+		} else {
+			idx = append(idx, 1)
+			for _, v := range [5]float64{m.Stats.Min, m.Stats.Max, m.Stats.Sum, m.Stats.First, m.Stats.Last} {
+				idx = binary.LittleEndian.AppendUint64(idx, math.Float64bits(v))
+			}
+		}
 	}
 	if _, err := w.w.Write(idx); err != nil {
 		return err
@@ -200,7 +276,7 @@ func (w *Writer) Close() error {
 	if _, err := w.w.Write(foot[:]); err != nil {
 		return err
 	}
-	if _, err := w.w.WriteString(magicTail); err != nil {
+	if _, err := w.w.WriteString(magicTailV2); err != nil {
 		return err
 	}
 	if err := w.w.Flush(); err != nil {
@@ -224,8 +300,9 @@ func (w *Writer) Index() []ChunkMeta {
 
 // Reader reads a tsfile. It is safe for concurrent ReadChunk calls.
 type Reader struct {
-	f     *os.File
-	index []ChunkMeta
+	f       *os.File
+	index   []ChunkMeta
+	dataEnd int64 // index offset: first byte past the chunk region
 }
 
 // Open opens a tsfile and loads its index.
@@ -247,7 +324,6 @@ func (r *Reader) loadIndex() error {
 	if err != nil {
 		return err
 	}
-	tailLen := int64(8 + len(magicTail))
 	if st.Size() < int64(len(magicHead))+tailLen {
 		return fmt.Errorf("%w: too small (%d bytes)", ErrCorrupt, st.Size())
 	}
@@ -262,13 +338,20 @@ func (r *Reader) loadIndex() error {
 	if _, err := r.f.ReadAt(tail, st.Size()-tailLen); err != nil {
 		return err
 	}
-	if string(tail[8:]) != magicTail {
+	var hasStats bool
+	switch string(tail[8:]) {
+	case magicTailV1:
+		hasStats = false
+	case magicTailV2:
+		hasStats = true
+	default:
 		return fmt.Errorf("%w: bad tail magic %q", ErrCorrupt, tail[8:])
 	}
 	indexOff := int64(binary.LittleEndian.Uint64(tail[:8]))
 	if indexOff < int64(len(magicHead)) || indexOff >= st.Size()-tailLen {
 		return fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOff)
 	}
+	r.dataEnd = indexOff
 	idx := make([]byte, st.Size()-tailLen-indexOff)
 	if _, err := r.f.ReadAt(idx, indexOff); err != nil {
 		return err
@@ -278,11 +361,18 @@ func (r *Reader) loadIndex() error {
 	if err != nil {
 		return fmt.Errorf("%w: index count: %v", ErrCorrupt, err)
 	}
+	// Every field below comes from disk; bound-check each one so a
+	// corrupt or hostile index can neither panic the reader nor make
+	// ReadChunk size a buffer from a fabricated Count.
+	lastMax := make(map[string]int64)
 	for i := uint64(0); i < count; i++ {
 		var m ChunkMeta
 		nameLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("%w: index entry %d: %v", ErrCorrupt, i, err)
+		}
+		if nameLen > maxSensorName {
+			return fmt.Errorf("%w: index entry %d: sensor name %d bytes", ErrCorrupt, i, nameLen)
 		}
 		name, err := br.take(int(nameLen))
 		if err != nil {
@@ -294,9 +384,19 @@ func (r *Reader) loadIndex() error {
 			return fmt.Errorf("%w: index entry %d offset: %v", ErrCorrupt, i, err)
 		}
 		m.Offset = int64(off)
+		if off > uint64(indexOff) || m.Offset < int64(len(magicHead)) {
+			return fmt.Errorf("%w: index entry %d: offset %d outside chunk region [%d, %d)",
+				ErrCorrupt, i, m.Offset, len(magicHead), indexOff)
+		}
 		cnt, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("%w: index entry %d count: %v", ErrCorrupt, i, err)
+		}
+		// Each record costs at least one bit on disk, so a chunk in the
+		// region [Offset, indexOff) can hold at most 8 points per byte.
+		if cnt == 0 || cnt > 8*uint64(indexOff-m.Offset) {
+			return fmt.Errorf("%w: index entry %d: count %d impossible for %d-byte region",
+				ErrCorrupt, i, cnt, indexOff-m.Offset)
 		}
 		m.Count = int(cnt)
 		if m.MinTime, err = binary.ReadVarint(br); err != nil {
@@ -304,6 +404,36 @@ func (r *Reader) loadIndex() error {
 		}
 		if m.MaxTime, err = binary.ReadVarint(br); err != nil {
 			return fmt.Errorf("%w: index entry %d maxtime: %v", ErrCorrupt, i, err)
+		}
+		if m.MinTime > m.MaxTime {
+			return fmt.Errorf("%w: index entry %d: min time %d > max time %d",
+				ErrCorrupt, i, m.MinTime, m.MaxTime)
+		}
+		// QuerySensor and the engine's streaming merge rely on a
+		// sensor's chunks being indexed in nondecreasing time order.
+		if last, ok := lastMax[m.Sensor]; ok && m.MinTime < last {
+			return fmt.Errorf("%w: index entry %d: chunks for %q out of time order (%d after %d)",
+				ErrCorrupt, i, m.Sensor, m.MinTime, last)
+		}
+		lastMax[m.Sensor] = m.MaxTime
+		if hasStats {
+			flags, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("%w: index entry %d flags: %v", ErrCorrupt, i, err)
+			}
+			if flags&1 != 0 {
+				raw, err := br.take(5 * 8)
+				if err != nil {
+					return fmt.Errorf("%w: index entry %d stats: %v", ErrCorrupt, i, err)
+				}
+				m.Stats = &ValueStats{
+					Min:   math.Float64frombits(binary.LittleEndian.Uint64(raw[0:])),
+					Max:   math.Float64frombits(binary.LittleEndian.Uint64(raw[8:])),
+					Sum:   math.Float64frombits(binary.LittleEndian.Uint64(raw[16:])),
+					First: math.Float64frombits(binary.LittleEndian.Uint64(raw[24:])),
+					Last:  math.Float64frombits(binary.LittleEndian.Uint64(raw[32:])),
+				}
+			}
 		}
 		r.index = append(r.index, m)
 	}
@@ -321,8 +451,15 @@ func (r *Reader) Index() []ChunkMeta {
 func (r *Reader) ReadChunk(meta ChunkMeta) ([]int64, []float64, error) {
 	// Upper-bound the payload size: name + worst-case TS2Diff varints
 	// (10 B/value) + worst-case Gorilla (~10 B/value: 2 control bits +
-	// 11 window bits + 64 payload bits) + headers + crc.
+	// 11 window bits + 64 payload bits) + headers + crc. Never read past
+	// the chunk region — the index's Count is untrusted input.
 	maxLen := 10 + len(meta.Sensor) + meta.Count*21 + 64
+	if region := r.dataEnd - meta.Offset; maxLen < 0 || int64(maxLen) > region {
+		if region < 0 {
+			return nil, nil, fmt.Errorf("%w: chunk offset %d past data end %d", ErrCorrupt, meta.Offset, r.dataEnd)
+		}
+		maxLen = int(region)
+	}
 	buf := make([]byte, maxLen)
 	n, err := r.f.ReadAt(buf, meta.Offset)
 	if err != nil && err != io.EOF {
@@ -416,7 +553,7 @@ func (s *sliceReader) ReadByte() (byte, error) {
 }
 
 func (s *sliceReader) take(n int) ([]byte, error) {
-	if s.pos+n > len(s.b) {
+	if n < 0 || n > len(s.b)-s.pos {
 		return nil, io.ErrUnexpectedEOF
 	}
 	out := s.b[s.pos : s.pos+n]

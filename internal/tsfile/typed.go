@@ -58,11 +58,20 @@ func WriteTypedChunk[V TypedValues](w *Writer, sensor string, times []int64, val
 	if len(sensor) > maxSensorName {
 		return fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
 	}
+	dup := false
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {
 			return fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
 		}
+		if times[i] == times[i-1] {
+			dup = true
+		}
 	}
+	if last, ok := w.lastMax[sensor]; ok && times[0] < last {
+		return fmt.Errorf("tsfile: chunk for %q out of time order: min %d after previous max %d",
+			sensor, times[0], last)
+	}
+	w.lastMax[sensor] = times[len(times)-1]
 	payload := []byte{0xFF, byte(valueTypeOf(values))}
 	payload = binary.AppendUvarint(payload, uint64(len(sensor)))
 	payload = append(payload, sensor...)
@@ -76,6 +85,11 @@ func WriteTypedChunk[V TypedValues](w *Writer, sensor string, times []int64, val
 		Count:   len(times),
 		MinTime: times[0],
 		MaxTime: times[len(times)-1],
+	}
+	// Only double columns get value statistics — the aggregation
+	// pushdown operates on float64 series.
+	if vs, ok := any(values).([]float64); ok {
+		meta.Stats = computeStats(vs, dup)
 	}
 	if _, err := w.w.Write(payload); err != nil {
 		return err
@@ -135,16 +149,29 @@ func appendTypedValues(dst []byte, values any) []byte {
 func (r *Reader) ReadTypedChunk(meta ChunkMeta) ([]int64, any, ValueType, error) {
 	maxLen := 12 + len(meta.Sensor) + meta.Count*21 + 64
 	// Text columns have no fixed per-value bound; read generously and
-	// retry larger on truncation.
+	// retry larger on truncation, but never past the chunk region — a
+	// chunk that still truncates with the whole region in memory is
+	// corrupt, not large.
+	region := r.dataEnd - meta.Offset
+	if region <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: chunk offset %d past data end %d", ErrCorrupt, meta.Offset, r.dataEnd)
+	}
+	full := false
+	if maxLen < 0 || int64(maxLen) >= region {
+		maxLen, full = int(region), true
+	}
 	buf, err := r.readAt(meta.Offset, maxLen)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	times, values, vt, consumed, derr := decodeTypedChunk(buf, meta)
 	for derr == errNeedMore {
+		if full {
+			return nil, nil, 0, fmt.Errorf("%w: typed chunk truncated", ErrCorrupt)
+		}
 		maxLen *= 4
-		if maxLen > 1<<30 {
-			return nil, nil, 0, fmt.Errorf("%w: typed chunk unreasonably large", ErrCorrupt)
+		if maxLen < 0 || int64(maxLen) >= region {
+			maxLen, full = int(region), true
 		}
 		buf, err = r.readAt(meta.Offset, maxLen)
 		if err != nil {
@@ -209,6 +236,9 @@ func decodeTypedChunk(buf []byte, meta ChunkMeta) ([]int64, any, ValueType, int,
 			return nil, nil, 0, 0, errNeedMore
 		}
 		br.pos += read
+		if n != uint64(meta.Count) {
+			return nil, nil, 0, 0, fmt.Errorf("%w: value count mismatch", ErrCorrupt)
+		}
 		vs := make([]int64, n)
 		for i := range vs {
 			v, read := binary.Varint(buf[br.pos:])
@@ -232,6 +262,9 @@ func decodeTypedChunk(buf []byte, meta ChunkMeta) ([]int64, any, ValueType, int,
 			return nil, nil, 0, 0, errNeedMore
 		}
 		br.pos += read
+		if n != uint64(meta.Count) {
+			return nil, nil, 0, 0, fmt.Errorf("%w: value count mismatch", ErrCorrupt)
+		}
 		vs := make([]string, n)
 		for i := range vs {
 			slen, read := binary.Uvarint(buf[br.pos:])

@@ -269,13 +269,27 @@ func (p *parser) parseTimePredicate(st *Statement) error {
 	if err != nil {
 		return err
 	}
+	// Strict comparators are normalized to the inclusive [MinTime,
+	// MaxTime] the engine scans (aggregations later convert to the
+	// half-open [startT, endT) convention of query.WindowQuery). At the
+	// int64 extremes the ±1 normalization would wrap around and turn an
+	// empty predicate into a full scan, so those collapse to a
+	// statically empty range instead.
 	switch op {
 	case ">":
-		st.MinTime = v + 1
+		if v == math.MaxInt64 {
+			st.MinTime, st.MaxTime = math.MaxInt64, math.MinInt64
+		} else {
+			st.MinTime = v + 1
+		}
 	case ">=":
 		st.MinTime = v
 	case "<":
-		st.MaxTime = v - 1
+		if v == math.MinInt64 {
+			st.MinTime, st.MaxTime = math.MaxInt64, math.MinInt64
+		} else {
+			st.MaxTime = v - 1
+		}
 	case "<=":
 		st.MaxTime = v
 	case "=":
@@ -360,7 +374,13 @@ func Execute(e Engine, st *Statement) (*Result, error) {
 
 	case KindSelect:
 		if st.HasAgg {
-			// WindowQuery's end bound is exclusive.
+			res := &Result{Columns: []string{"window_start", st.Agg.String() + "(value)", "count"}}
+			if st.MinTime > st.MaxTime {
+				return res, nil // statically empty predicate
+			}
+			// The inclusive [MinTime, MaxTime] predicate becomes
+			// WindowQuery's half-open [startT, endT): the end bound is
+			// exclusive, so time <= T queries endT = T+1.
 			endT := st.MaxTime
 			if endT != math.MaxInt64 {
 				endT++
@@ -373,7 +393,6 @@ func Execute(e Engine, st *Statement) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res := &Result{Columns: []string{"window_start", st.Agg.String() + "(value)", "count"}}
 			for _, w := range wins {
 				res.Rows = append(res.Rows, []string{
 					strconv.FormatInt(w.Start, 10),

@@ -1,0 +1,148 @@
+// Package winagg holds the windowed-aggregation primitives shared by
+// the query layer (which reduces materialized point slices) and the
+// storage engine (which pushes the same reductions down onto per-chunk
+// statistics without decoding). Both paths fold contributions into an
+// Acc; because an Acc accepts whole-chunk statistics as well as single
+// points, a window can mix stats-answered chunks with decoded boundary
+// points and still produce the exact first/last/min/max/sum the
+// materialized path would.
+//
+// Contributions must be added in time order — First and Last are
+// defined by it. The engine guarantees this: the merge cursor yields
+// points in nondecreasing time order, and a stats-answered chunk is
+// folded in at its MinTime, which is sound because eligibility
+// requires that no other contribution falls inside the chunk's time
+// range.
+package winagg
+
+import "fmt"
+
+// Op selects the per-window aggregate function. The ordinal values are
+// shared with query.Aggregator and the RPC wire encoding; do not
+// reorder.
+type Op int
+
+// Supported aggregate functions.
+const (
+	Count Op = iota
+	Sum
+	Avg
+	Min
+	Max
+	First
+	Last
+)
+
+// String returns the SQL-ish name of the aggregator.
+func (a Op) String() string {
+	switch a {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case First:
+		return "first"
+	case Last:
+		return "last"
+	default:
+		return fmt.Sprintf("Op(%d)", int(a))
+	}
+}
+
+// Valid reports whether a names a supported aggregate function.
+func (a Op) Valid() bool { return a >= Count && a <= Last }
+
+// Window is one aggregated window [Start, Start+width).
+type Window struct {
+	Start int64
+	Count int
+	Value float64
+}
+
+// Acc accumulates one window's contributions. The zero value (plus an
+// Op) is ready to use.
+type Acc struct {
+	Op    Op
+	count int
+	sum   float64
+	min   float64
+	max   float64
+	first float64
+	last  float64
+}
+
+// AddPoint folds one decoded point into the window.
+func (a *Acc) AddPoint(v float64) { a.add(1, v, v, v, v, v) }
+
+// AddStats folds a whole chunk's value statistics into the window
+// without its points. The caller vouches that every one of the chunk's
+// count points belongs to this window and that no other contribution
+// lies inside the chunk's time range.
+func (a *Acc) AddStats(count int, min, max, sum, first, last float64) {
+	if count <= 0 {
+		return
+	}
+	a.add(count, min, max, sum, first, last)
+}
+
+func (a *Acc) add(count int, min, max, sum, first, last float64) {
+	if a.count == 0 {
+		a.first = first
+		a.min, a.max = min, max
+	} else {
+		if min < a.min {
+			a.min = min
+		}
+		if max > a.max {
+			a.max = max
+		}
+	}
+	a.count += count
+	a.sum += sum
+	a.last = last
+}
+
+// Count returns the number of points folded in so far.
+func (a *Acc) Count() int { return a.count }
+
+// Result finalizes the window value for the accumulator's Op.
+func (a *Acc) Result() float64 {
+	switch a.Op {
+	case Count:
+		return float64(a.count)
+	case Sum:
+		return a.sum
+	case Avg:
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / float64(a.count)
+	case Min:
+		return a.min
+	case Max:
+		return a.max
+	case First:
+		return a.first
+	case Last:
+		return a.last
+	default:
+		return 0
+	}
+}
+
+// WindowStart returns the start of the window containing t for windows
+// of the given width anchored at startT. t must be >= startT. The
+// subtraction is done in uint64 so that extreme ranges (startT near
+// MinInt64, t near MaxInt64) cannot overflow: two's-complement
+// arithmetic makes the modular result exact whenever the true window
+// start is representable, which it is (startT <= ws <= t).
+func WindowStart(startT, t, window int64) int64 {
+	delta := uint64(t) - uint64(startT)
+	return startT + int64(delta/uint64(window)*uint64(window))
+}

@@ -1,0 +1,91 @@
+package winagg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccPointsMatchStats(t *testing.T) {
+	// Folding a chunk as individual points and folding it as one stats
+	// block must produce identical results for every op.
+	values := []float64{3, -1, 4, 1, 5, 9, 2, 6}
+	min, max, sum := values[0], values[0], 0.0
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	for op := Count; op <= Last; op++ {
+		var byPoint, byStats Acc
+		byPoint.Op, byStats.Op = op, op
+		byPoint.AddPoint(-7) // a decoded point before the chunk
+		byStats.AddPoint(-7)
+		for _, v := range values {
+			byPoint.AddPoint(v)
+		}
+		byStats.AddStats(len(values), min, max, sum, values[0], values[len(values)-1])
+		byPoint.AddPoint(100) // and one after
+		byStats.AddPoint(100)
+		if byPoint.Count() != byStats.Count() {
+			t.Fatalf("%v: counts differ: %d vs %d", op, byPoint.Count(), byStats.Count())
+		}
+		if byPoint.Result() != byStats.Result() {
+			t.Fatalf("%v: results differ: %g vs %g", op, byPoint.Result(), byStats.Result())
+		}
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	a := Acc{Op: Avg}
+	if a.Count() != 0 || a.Result() != 0 {
+		t.Fatalf("zero acc: count=%d result=%g", a.Count(), a.Result())
+	}
+	a.AddStats(0, 1, 2, 3, 4, 5) // ignored
+	if a.Count() != 0 {
+		t.Fatal("empty stats contribution changed the count")
+	}
+}
+
+func TestOpValidAndString(t *testing.T) {
+	for op := Count; op <= Last; op++ {
+		if !op.Valid() {
+			t.Fatalf("%d should be valid", int(op))
+		}
+		if op.String() == "" {
+			t.Fatalf("%d has no name", int(op))
+		}
+	}
+	if Op(-1).Valid() || Op(7).Valid() {
+		t.Fatal("out-of-range ops accepted")
+	}
+}
+
+func TestWindowStart(t *testing.T) {
+	cases := []struct {
+		startT, t, window, want int64
+	}{
+		{0, 0, 10, 0},
+		{0, 9, 10, 0},
+		{0, 10, 10, 10},
+		{5, 7, 10, 5},
+		{5, 15, 10, 15},
+		{-100, -91, 10, -100},
+		{-100, -90, 10, -90},
+		// Extreme range: naive (t-startT) overflows int64.
+		{math.MinInt64, math.MaxInt64, 1 << 40, math.MinInt64 + (1<<40)*((1<<24)-1) + ((1 << 40) * ((1 << 24) * ((1 << 63 / (1 << 40) / (1 << 24)) * 2)))},
+	}
+	// The extreme case is easier to assert structurally than literally.
+	for _, c := range cases[:len(cases)-1] {
+		if got := WindowStart(c.startT, c.t, c.window); got != c.want {
+			t.Fatalf("WindowStart(%d, %d, %d) = %d, want %d", c.startT, c.t, c.window, got, c.want)
+		}
+	}
+	ws := WindowStart(math.MinInt64, math.MaxInt64, 1<<40)
+	if ws > math.MaxInt64-(1<<40)+1 || math.MaxInt64-ws >= 1<<40 {
+		t.Fatalf("extreme-range window start %d not within one window of t", ws)
+	}
+}
