@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
@@ -54,11 +55,35 @@ func main() {
 	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy for the in-process engine: none, interval, or always (non-none implies -wal)")
 	addr := flag.String("addr", "", "remote tsdbd address (empty = in-process engine)")
 	dir := flag.String("dir", "", "data directory for the in-process engine (default temp)")
+	blockPoints := flag.Int("block-points", 0, "target points per v3 chunk block for the in-process engine (0 = default, negative = legacy v2 single-unit chunks)")
+	partitionDuration := flag.Int64("partition-duration", 0, "time-partition width for the in-process engine; > 0 enables the leveled p<epoch>/L<n>/ layout")
+	l0Files := flag.Int("l0-compact-files", 0, "L0 file count triggering a leveled merge per partition (0 = default)")
+	levelBase := flag.Int64("level-base-bytes", 0, "level-0 size bound in bytes; level n is bounded by base*growth^n (0 = default)")
+	levelGrowth := flag.Int("level-growth", 0, "per-level size-bound multiplier (0 = default)")
+	maxLevel := flag.Int("max-level", 0, "deepest level automatic compaction creates (0 = default)")
 	aggSmoke := flag.Bool("agg-smoke", false, "run the aggregation-pushdown smoke check (stats pushdown vs decode-all oracle) and exit")
+	pointQuery := flag.Bool("point-query", false, "run the narrow-range point-query mode: in-order ingest, then -ops narrow queries, reporting bytes read and blocks decoded/skipped")
+	queryRange := flag.Int64("query-range", 16, "time width of each narrow-range query in -point-query mode")
+	readampSmoke := flag.Bool("readamp-smoke", false, "run the read-amplification smoke check (v3 block seeks vs v2 whole-chunk decodes) and exit")
+	compactionSmoke := flag.Bool("compaction-smoke", false, "run the leveled-compaction smoke check (per-pass input within the level bound, O(1) partition drop) and exit")
 	flag.Parse()
 
 	if *aggSmoke {
 		if err := runAggSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *readampSmoke {
+		if err := runReadAmpSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compactionSmoke {
+		if err := runCompactionSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -80,6 +105,16 @@ func main() {
 		flushWorkers: *flushWorkers, sortParallelism: *sortParallelism,
 		flatThreshold: *flatThreshold, legacyLocking: *legacyLocking,
 		wal: *walOn, walSync: *walSync,
+		blockPoints: *blockPoints, partitionDuration: *partitionDuration,
+		l0Files: *l0Files, levelBase: *levelBase,
+		levelGrowth: *levelGrowth, maxLevel: *maxLevel,
+	}
+	if *pointQuery {
+		if err := runPointQuery(cell, *queryRange); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := runCell(cell); err != nil {
 		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
@@ -100,6 +135,26 @@ type cellConfig struct {
 	legacyLocking                 bool
 	wal                           bool
 	walSync                       string
+	blockPoints                   int
+	partitionDuration             int64
+	l0Files                       int
+	levelBase                     int64
+	levelGrowth                   int
+	maxLevel                      int
+}
+
+// engineConfig builds the in-process engine configuration shared by the
+// single-cell and point-query modes.
+func (cc cellConfig) engineConfig(dir string) engine.Config {
+	return engine.Config{
+		Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
+		FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
+		FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
+		WAL: cc.wal, WALSync: cc.walSync,
+		BlockPoints: cc.blockPoints, PartitionDuration: cc.partitionDuration,
+		L0CompactFiles: cc.l0Files, LevelBaseBytes: cc.levelBase,
+		LevelGrowth: cc.levelGrowth, MaxLevel: cc.maxLevel,
+	}
 }
 
 func runFigure(fig, scale string) error {
@@ -166,12 +221,7 @@ func runCell(cc cellConfig) error {
 		if cc.walSync != "" && cc.walSync != engine.WALSyncNone {
 			cc.wal = true
 		}
-		engCfg := engine.Config{
-			Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
-			FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
-			FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
-			WAL: cc.wal, WALSync: cc.walSync,
-		}
+		engCfg := cc.engineConfig(dir)
 		if cc.shards == 1 {
 			eng, err := engine.Open(engCfg)
 			if err != nil {
@@ -225,6 +275,11 @@ func runCell(cc cellConfig) error {
 		res.WALSyncs, res.WALCommits, avgGroup, res.QuarantinedFiles, res.RecoveredWALBatches)
 	fmt.Printf("  pruning: %d chunks from stats, %d chunks decoded, %d points skipped\n",
 		res.ChunksFromStats, res.ChunksDecoded, res.PointsSkipped)
+	fmt.Printf("  read amp: %d bytes read, %d blocks decoded, %d blocks skipped, %d blocks from stats\n",
+		res.BytesRead, res.BlocksDecoded, res.BlocksSkipped, res.BlocksFromStats)
+	fmt.Printf("  compaction: %d passes, %d bytes read (largest pass %d), %d partitions active, %d dropped\n",
+		res.CompactionPasses, res.CompactionBytesRead, res.MaxCompactionPassBytes,
+		res.PartitionsActive, res.PartitionsDropped)
 	if len(res.PerShard) > 0 {
 		fmt.Printf("  shards: %d\n", len(res.PerShard))
 		for i, s := range res.PerShard {
@@ -314,6 +369,305 @@ func runAggSmoke() error {
 	}
 	fmt.Printf("agg-smoke: PASS (%d windows agree; %dx fewer points decoded)\n",
 		len(wins), decodeAllPoints/maxInt64(pushPoints, 1))
+	return nil
+}
+
+// runPointQuery is the narrow-range read-amplification workload: it
+// ingests an in-order series through the configured in-process engine,
+// then issues -ops queries of -query-range ticks spread evenly across
+// the series, and reports how many bytes and blocks the engine actually
+// touched. With the v3 block index (the default) only the blocks
+// overlapping each query decode; with -block-points -1 (legacy v2
+// single-unit chunks) every overlapping chunk decodes whole — the read
+// amplification this mode makes visible.
+func runPointQuery(cc cellConfig, width int64) error {
+	if cc.addr != "" {
+		return fmt.Errorf("point-query: the mode drives an in-process engine (-addr is not supported)")
+	}
+	if width <= 0 {
+		return fmt.Errorf("point-query: -query-range must be positive")
+	}
+	const sensor = "pq"
+	dir := cc.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "tsbench-pq-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	if cc.walSync != "" && cc.walSync != engine.WALSyncNone {
+		cc.wal = true
+	}
+	cfg := cc.engineConfig(dir)
+	cfg.SyncFlush = true // flush cost is not what this mode measures
+	eng, err := engine.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	total := int64(cc.ops) * int64(cc.batch)
+	times := make([]int64, cc.batch)
+	values := make([]float64, cc.batch)
+	for off := int64(0); off < total; off += int64(cc.batch) {
+		for i := range times {
+			t := off + int64(i)
+			times[i] = t
+			values[i] = float64(t%997) * 0.25
+		}
+		if err := eng.InsertBatch(sensor, times, values); err != nil {
+			return err
+		}
+	}
+	eng.WaitFlushes()
+
+	s0 := eng.Stats()
+	stride := total / int64(cc.ops)
+	if stride < 1 {
+		stride = 1
+	}
+	var pointsOut int64
+	start := time.Now()
+	for q := 0; q < cc.ops; q++ {
+		lo := int64(q) * stride
+		hi := lo + width - 1
+		if hi >= total {
+			hi = total - 1
+		}
+		out, err := eng.Query(sensor, lo, hi)
+		if err != nil {
+			return err
+		}
+		pointsOut += int64(len(out))
+	}
+	elapsed := time.Since(start)
+	s1 := eng.Stats()
+
+	fmt.Printf("point-query: %d queries of %d ticks over %d in-order points (%d files, memtable %d, block-points %d)\n",
+		cc.ops, width, total, s1.Files, cc.memtable, cc.blockPoints)
+	fmt.Printf("  returned %d points in %v (avg %.3f ms/query)\n",
+		pointsOut, elapsed, float64(elapsed.Microseconds())/1000/float64(cc.ops))
+	fmt.Printf("  read amp: %d bytes read, %d blocks decoded, %d blocks skipped, %d chunks decoded\n",
+		s1.BytesRead-s0.BytesRead, s1.BlocksDecoded-s0.BlocksDecoded,
+		s1.BlocksSkipped-s0.BlocksSkipped, s1.ChunksDecoded-s0.ChunksDecoded)
+	return nil
+}
+
+// runReadAmpSmoke is the CI gate for the v3 block index: the same
+// in-order series is flushed once with legacy v2 whole-unit chunks and
+// once with v3 blocks, the same narrow-range queries run against both
+// stores, and the check fails unless the answers agree and the v3 store
+// read at least 10x fewer bytes.
+func runReadAmpSmoke() error {
+	const (
+		chunkPts = 4096
+		files    = 64
+		blockPts = 128
+		queries  = 128
+		width    = 40 // ~1% of a chunk's time span
+		sensor   = "ra"
+		total    = int64(chunkPts * files)
+	)
+	build := func(name string, blockPoints int) (*engine.Engine, func(), error) {
+		dir, err := os.MkdirTemp("", "tsbench-readamp-"+name+"-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := engine.Open(engine.Config{
+			Dir: dir, MemTableSize: chunkPts, SyncFlush: true, BlockPoints: blockPoints,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		cleanup := func() { eng.Close(); os.RemoveAll(dir) }
+		times := make([]int64, chunkPts)
+		values := make([]float64, chunkPts)
+		for f := 0; f < files; f++ {
+			for i := range times {
+				t := int64(f*chunkPts + i)
+				times[i] = t
+				values[i] = float64(t%911) * 0.5
+			}
+			if err := eng.InsertBatch(sensor, times, values); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		eng.WaitFlushes()
+		return eng, cleanup, nil
+	}
+	v2, v2done, err := build("v2", -1)
+	if err != nil {
+		return err
+	}
+	defer v2done()
+	v3, v3done, err := build("v3", blockPts)
+	if err != nil {
+		return err
+	}
+	defer v3done()
+
+	run := func(eng *engine.Engine) (bytes, decoded, skipped int64, sum float64, n int64, err error) {
+		s0 := eng.Stats()
+		stride := total / queries
+		for q := int64(0); q < queries; q++ {
+			lo := q * stride
+			out, qerr := eng.Query(sensor, lo, lo+width-1)
+			if qerr != nil {
+				err = qerr
+				return
+			}
+			n += int64(len(out))
+			for _, tv := range out {
+				sum += tv.V
+			}
+		}
+		s1 := eng.Stats()
+		bytes = s1.BytesRead - s0.BytesRead
+		decoded = s1.BlocksDecoded - s0.BlocksDecoded
+		skipped = s1.BlocksSkipped - s0.BlocksSkipped
+		return
+	}
+	v2Bytes, v2Dec, _, v2Sum, v2N, err := run(v2)
+	if err != nil {
+		return err
+	}
+	v3Bytes, v3Dec, v3Skip, v3Sum, v3N, err := run(v3)
+	if err != nil {
+		return err
+	}
+	if v2N != v3N || v2Sum != v3Sum {
+		return fmt.Errorf("readamp-smoke: v2/v3 answers differ: %d points (sum %v) vs %d points (sum %v)", v2N, v2Sum, v3N, v3Sum)
+	}
+	if want := int64(queries) * width; v2N != want {
+		return fmt.Errorf("readamp-smoke: expected %d points total, got %d", want, v2N)
+	}
+	fmt.Printf("readamp-smoke: v2 whole-chunk: %d bytes read, %d blocks decoded\n", v2Bytes, v2Dec)
+	fmt.Printf("readamp-smoke: v3 block-seek:  %d bytes read, %d blocks decoded, %d blocks skipped\n", v3Bytes, v3Dec, v3Skip)
+	if v3Bytes <= 0 || v2Bytes < 10*v3Bytes {
+		return fmt.Errorf("readamp-smoke: v3 read %d bytes vs v2's %d — less than the required 10x reduction", v3Bytes, v2Bytes)
+	}
+	fmt.Printf("readamp-smoke: PASS (%d narrow queries on a %d-chunk store; %dx fewer bytes read)\n",
+		queries, files, v2Bytes/maxInt64(v3Bytes, 1))
+	return nil
+}
+
+// runCompactionSmoke is the CI gate for leveled, time-partitioned
+// compaction: a partitioned engine with deliberately small level bounds
+// ingests enough in-order data to trigger several merge passes; the
+// check fails unless passes ran, no single pass read more input than
+// the deepest automatically-compacted level's bound, the merged store
+// still answers a full scan correctly, and dropping expired partitions
+// is visible in Stats and removes exactly their data.
+func runCompactionSmoke() error {
+	const (
+		sensor    = "cs"
+		partDur   = int64(10000)
+		memtable  = 2000
+		batches   = 40 // 80k points -> 8 partitions, 5 L0 flushes each
+		levelBase = int64(64 << 10)
+		growth    = 4
+		maxLevel  = 2
+		l0Files   = 4
+	)
+	dir, err := os.MkdirTemp("", "tsbench-compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := engine.Open(engine.Config{
+		Dir: dir, MemTableSize: memtable, SyncFlush: true,
+		PartitionDuration: partDur, L0CompactFiles: l0Files,
+		LevelBaseBytes: levelBase, LevelGrowth: growth, MaxLevel: maxLevel,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	total := int64(batches) * int64(memtable)
+	times := make([]int64, memtable)
+	values := make([]float64, memtable)
+	for off := int64(0); off < total; off += int64(memtable) {
+		for i := range times {
+			t := off + int64(i)
+			times[i] = t
+			values[i] = float64(t%809) * 0.5
+		}
+		if err := eng.InsertBatch(sensor, times, values); err != nil {
+			return err
+		}
+	}
+	eng.WaitFlushes()
+
+	st := eng.Stats()
+	if st.CompactionPasses == 0 {
+		return fmt.Errorf("compaction-smoke: no compaction passes ran")
+	}
+	// A pass compacting out of level n reads at most that level's size
+	// bound; automatic compaction never reads from MaxLevel, so the
+	// deepest possible pass is bounded by level MaxLevel-1.
+	bound := levelBase
+	for l := 1; l < maxLevel; l++ {
+		bound *= growth
+	}
+	if st.MaxCompactionPassBytes > bound {
+		return fmt.Errorf("compaction-smoke: largest pass read %d input bytes, above the %d-byte level bound",
+			st.MaxCompactionPassBytes, bound)
+	}
+	if st.PartitionsActive < 2 {
+		return fmt.Errorf("compaction-smoke: expected multiple active partitions, got %d", st.PartitionsActive)
+	}
+	out, err := eng.Query(sensor, 0, total-1)
+	if err != nil {
+		return err
+	}
+	if int64(len(out)) != total {
+		return fmt.Errorf("compaction-smoke: full scan returned %d of %d points after compaction", len(out), total)
+	}
+	for i, tv := range out {
+		if tv.T != int64(i) || tv.V != float64(int64(i)%809)*0.5 {
+			return fmt.Errorf("compaction-smoke: point %d corrupted after compaction: %+v", i, tv)
+		}
+	}
+
+	// Retention: dropping everything before the third partition unlinks
+	// p0 and p1 whole, without rewriting surviving data.
+	cutoff := 2 * partDur
+	dropped, err := eng.DropPartitionsBefore(cutoff)
+	if err != nil {
+		return err
+	}
+	if dropped != 2 {
+		return fmt.Errorf("compaction-smoke: dropped %d partitions, expected 2", dropped)
+	}
+	st2 := eng.Stats()
+	if st2.PartitionsDropped != int64(dropped) {
+		return fmt.Errorf("compaction-smoke: Stats reports %d partitions dropped, expected %d", st2.PartitionsDropped, dropped)
+	}
+	if st2.PartitionsActive != st.PartitionsActive-dropped {
+		return fmt.Errorf("compaction-smoke: %d partitions active after drop, expected %d",
+			st2.PartitionsActive, st.PartitionsActive-dropped)
+	}
+	gone, err := eng.Query(sensor, 0, cutoff-1)
+	if err != nil {
+		return err
+	}
+	if len(gone) != 0 {
+		return fmt.Errorf("compaction-smoke: %d points survived in dropped partitions", len(gone))
+	}
+	kept, err := eng.Query(sensor, cutoff, total-1)
+	if err != nil {
+		return err
+	}
+	if int64(len(kept)) != total-cutoff {
+		return fmt.Errorf("compaction-smoke: %d points left after drop, expected %d", len(kept), total-cutoff)
+	}
+	fmt.Printf("compaction-smoke: PASS (%d passes, largest %d input bytes ≤ %d bound; %d partitions dropped, %d active)\n",
+		st.CompactionPasses, st.MaxCompactionPassBytes, bound, dropped, st2.PartitionsActive)
 	return nil
 }
 

@@ -37,6 +37,12 @@ func main() {
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
+	blockPoints := flag.Int("block-points", 0, "target points per v3 chunk block (0 = default, negative = legacy v2 single-unit chunks)")
+	partitionDuration := flag.Int64("partition-duration", 0, "time-partition width in timestamp units; > 0 enables the partitioned leveled layout (p<epoch>/L<n>/) with O(1) retention drops")
+	l0Files := flag.Int("l0-compact-files", 0, "L0 file count triggering a leveled merge per partition (0 = default)")
+	levelBase := flag.Int64("level-base-bytes", 0, "level-0 size bound in bytes; level n is bounded by base*growth^n (0 = default)")
+	levelGrowth := flag.Int("level-growth", 0, "per-level size-bound multiplier (0 = default)")
+	maxLevel := flag.Int("max-level", 0, "deepest level automatic compaction creates (0 = default)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -57,6 +63,12 @@ func main() {
 		SortParallelism:     *sortParallelism,
 		FlatSortThreshold:   *flatThreshold,
 		LegacyLockedQueries: *legacyLocking,
+		BlockPoints:         *blockPoints,
+		PartitionDuration:   *partitionDuration,
+		L0CompactFiles:      *l0Files,
+		LevelBaseBytes:      *levelBase,
+		LevelGrowth:         *levelGrowth,
+		MaxLevel:            *maxLevel,
 	}
 	// The backend is either one bare engine (-shards 1, the legacy
 	// flat directory layout) or the shard router; both implement the

@@ -31,6 +31,8 @@ func main() {
 	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points, per shard)")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
 	shards := flag.Int("shards", 1, "engine shards: 1 = unsharded (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards; STATS then prints the per-shard breakdown")
+	blockPoints := flag.Int("block-points", 0, "target points per v3 chunk block (0 = default, negative = legacy v2 single-unit chunks)")
+	partitionDuration := flag.Int64("partition-duration", 0, "time-partition width; > 0 enables the partitioned leveled layout (p<epoch>/L<n>/)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -38,10 +40,12 @@ func main() {
 		os.Exit(2)
 	}
 	engCfg := engine.Config{
-		Dir:          *dir,
-		MemTableSize: *memtable,
-		Algorithm:    *algo,
-		WAL:          *walOn,
+		Dir:               *dir,
+		MemTableSize:      *memtable,
+		Algorithm:         *algo,
+		WAL:               *walOn,
+		BlockPoints:       *blockPoints,
+		PartitionDuration: *partitionDuration,
 	}
 	var eng tsql.Engine
 	var closeEng func() error

@@ -210,6 +210,17 @@ type Result struct {
 	ChunksFromStats int64
 	ChunksDecoded   int64
 	PointsSkipped   int64
+	// Block-level read-amplification counters (tsfile v3).
+	BytesRead       int64
+	BlocksDecoded   int64
+	BlocksSkipped   int64
+	BlocksFromStats int64
+	// Leveled-compaction counters.
+	CompactionPasses       int64
+	CompactionBytesRead    int64
+	MaxCompactionPassBytes int64
+	PartitionsDropped      int64
+	PartitionsActive       int
 	// PerShard holds the per-shard stats breakdown when the target is
 	// sharded (shard router in-process, or a sharded tsdbd over rpc);
 	// nil against an unsharded target.
@@ -425,6 +436,15 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.ChunksFromStats = st.ChunksFromStats
 	res.ChunksDecoded = st.ChunksDecoded
 	res.PointsSkipped = st.PointsSkipped
+	res.BytesRead = st.BytesRead
+	res.BlocksDecoded = st.BlocksDecoded
+	res.BlocksSkipped = st.BlocksSkipped
+	res.BlocksFromStats = st.BlocksFromStats
+	res.CompactionPasses = st.CompactionPasses
+	res.CompactionBytesRead = st.CompactionBytesRead
+	res.MaxCompactionPassBytes = st.MaxCompactionPassBytes
+	res.PartitionsDropped = st.PartitionsDropped
+	res.PartitionsActive = st.PartitionsActive
 	if ss, ok := target.(ShardStatser); ok {
 		per, err := ss.ShardStats()
 		if err != nil {

@@ -10,24 +10,32 @@
 // at a time, so a long range scan holds one chunk's points in memory
 // per file rather than materializing everything before sorting.
 //
-// AggregateWindows additionally prunes: a chunk whose index entry
-// carries value statistics is answered from those statistics — without
-// decoding — when the stats provably equal the chunk's contribution to
-// the deduplicated stream. The condition (checked in
-// statsEligible) is:
+// AggregateWindows additionally prunes: a chunk — or, in v3 blocked
+// files, an individual block — whose index entry carries value
+// statistics is answered from those statistics, without decoding, when
+// the stats provably equal its contribution to the deduplicated
+// stream. The condition (checked per candidate span in
+// buildAggPlan/spanEligible) is:
 //
-//  1. the chunk's time range lies entirely inside the query range and
+//  1. the span's time range lies entirely inside the query range and
 //     inside a single window bucket, so every one of its points lands
 //     in that window;
 //  2. no other source — memtable point, flushing point, or any other
-//     chunk of the same sensor — has a timestamp inside the chunk's
-//     [MinTime, MaxTime]. Overlap from a *newer* source could shadow
-//     the chunk's points; overlap from an *older* source could itself
-//     be shadowed; either way the per-point outcome differs from the
-//     raw statistics, so any overlap disqualifies;
-//  3. the chunk has statistics at all — chunks with internal duplicate
-//     timestamps are written without them, because dedup would drop
-//     points the statistics counted.
+//     span of the sensor (another chunk, another chunk's block, or a
+//     sibling block sharing a boundary timestamp) — has a timestamp
+//     inside the span's [MinTime, MaxTime]. Overlap from a *newer*
+//     source could shadow the span's points; overlap from an *older*
+//     source could itself be shadowed; either way the per-point
+//     outcome differs from the raw statistics, so any overlap
+//     disqualifies;
+//  3. the span has statistics at all — chunks/blocks with internal
+//     duplicate timestamps are written without them, because dedup
+//     would drop points the statistics counted.
+//
+// Block granularity is what makes the pushdown useful on windows much
+// smaller than a chunk: a 100k-point chunk whose blocks each span one
+// window still answers every fully-covered block from metadata and
+// decodes only the two boundary blocks.
 package engine
 
 import (
@@ -62,17 +70,38 @@ func (s *sliceSource) next() (TV, bool, error) {
 	return tv, true, nil
 }
 
-// fileSource streams one file's chunks for a sensor, decoding lazily
-// chunk by chunk. It relies on the tsfile invariant (enforced at write
-// and load time) that a sensor's chunks appear in the index in
+// fileSource streams one file's chunks for a sensor, decoding lazily —
+// chunk by chunk, and inside v3 blocked chunks block by block, seeking
+// past blocks whose time bounds miss [minT, maxT] without any I/O. It
+// relies on the tsfile invariant (enforced at write and load time)
+// that a sensor's chunks, and a chunk's blocks, appear in
 // nondecreasing time order.
+//
+// blockSets, when non-nil, runs parallel to chunks and pre-selects the
+// exact blocks to decode per blocked chunk (the aggregation planner
+// uses it to decode only the blocks its statistics could not answer);
+// a nil entry falls back to pruning by time range.
 type fileSource struct {
 	e          *Engine
 	fh         *fileHandle
 	chunks     []tsfile.ChunkMeta
+	blockSets  [][]tsfile.BlockMeta
 	minT, maxT int64
 	buf        []TV
 	pos        int
+	cur        tsfile.ChunkMeta  // blocked chunk being streamed
+	curBlocks  []tsfile.BlockMeta
+	inChunk    bool
+}
+
+func (s *fileSource) fill(ts []int64, vs []float64) {
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for i, t := range ts {
+		if t >= s.minT && t <= s.maxT {
+			s.buf = append(s.buf, TV{t, vs[i]})
+		}
+	}
 }
 
 func (s *fileSource) next() (TV, bool, error) {
@@ -82,23 +111,58 @@ func (s *fileSource) next() (TV, bool, error) {
 			s.pos++
 			return tv, true, nil
 		}
+		if s.inChunk {
+			if len(s.curBlocks) == 0 {
+				s.inChunk = false
+				continue
+			}
+			b := s.curBlocks[0]
+			s.curBlocks = s.curBlocks[1:]
+			ts, vs, err := s.fh.reader.ReadBlock(s.cur, b)
+			if err != nil {
+				return TV{}, false, err
+			}
+			s.e.blocksDecoded.Add(1)
+			s.e.bytesRead.Add(b.Size)
+			s.fill(ts, vs)
+			continue
+		}
 		if len(s.chunks) == 0 {
 			return TV{}, false, nil
 		}
 		m := s.chunks[0]
 		s.chunks = s.chunks[1:]
+		var preset []tsfile.BlockMeta
+		if s.blockSets != nil {
+			preset = s.blockSets[0]
+			s.blockSets = s.blockSets[1:]
+		}
+		if len(m.Blocks) > 0 {
+			blocks := preset
+			if blocks == nil {
+				for _, b := range m.Blocks {
+					if b.MaxTime < s.minT || b.MinTime > s.maxT {
+						s.e.blocksSkipped.Add(1)
+						continue
+					}
+					blocks = append(blocks, b)
+				}
+			}
+			if len(blocks) > 0 {
+				s.e.chunksDecoded.Add(1)
+			}
+			s.cur = m
+			s.curBlocks = blocks
+			s.inChunk = true
+			continue
+		}
 		ts, vs, err := s.fh.reader.ReadChunk(m)
 		if err != nil {
 			return TV{}, false, err
 		}
 		s.e.chunksDecoded.Add(1)
-		s.buf = s.buf[:0]
-		s.pos = 0
-		for i, t := range ts {
-			if t >= s.minT && t <= s.maxT {
-				s.buf = append(s.buf, TV{t, vs[i]})
-			}
-		}
+		s.e.bytesRead.Add(m.Size)
+		s.fill(ts, vs)
 	}
 }
 
@@ -331,38 +395,7 @@ func (e *Engine) AggregateWindows(sensor string, startT, endT, window int64, op 
 	}
 	defer qs.release()
 
-	// Partition each file's overlapping chunks into stats-answered and
-	// must-decode. The overlap check needs every candidate chunk across
-	// all files: any chunk fully inside the query range can only
-	// overlap chunks that also intersect the range.
-	perFile := make([][]tsfile.ChunkMeta, len(qs.files))
-	var all []tsfile.ChunkMeta
-	for i, fh := range qs.files {
-		perFile[i] = overlapping(fh, sensor, startT, maxT)
-		all = append(all, perFile[i]...)
-	}
-	var contribs []statsContrib
-	srcs := make([]pointSource, 0, len(qs.mem)+len(qs.files))
-	for _, s := range qs.mem {
-		srcs = append(srcs, &sliceSource{buf: s})
-	}
-	seen := 0
-	for i, fh := range qs.files {
-		decode := perFile[i][:0]
-		for j, m := range perFile[i] {
-			if e.statsEligible(m, seen+j, all, qs.mem, startT, maxT, window) {
-				contribs = append(contribs, statsContrib{m.MinTime, m.Count, m.Stats})
-				e.chunksFromStats.Add(1)
-				e.pointsSkipped.Add(int64(m.Count))
-			} else {
-				decode = append(decode, m)
-			}
-		}
-		seen += len(perFile[i])
-		if len(decode) > 0 {
-			srcs = append(srcs, &fileSource{e: e, fh: fh, chunks: decode, minT: startT, maxT: maxT})
-		}
-	}
+	contribs, srcs := e.buildAggPlan(qs, sensor, startT, maxT, window)
 	sort.Slice(contribs, func(a, b int) bool { return contribs[a].minTime < contribs[b].minTime })
 
 	m, err := newMerge(srcs)
@@ -417,32 +450,119 @@ func (e *Engine) AggregateWindows(sensor string, startT, endT, window int64, op 
 	return out, nil
 }
 
-// statsEligible reports whether chunk m (at position self in all) may
-// be answered from its index statistics for a window aggregation over
-// [startT, maxT] (inclusive): it must carry statistics, lie entirely
-// inside the range and inside one window bucket, and no memtable point
-// or other chunk of the sensor may have a timestamp inside its
-// [MinTime, MaxTime] — any such overlap lets newest-wins dedup change
-// the chunk's effective contribution.
-func (e *Engine) statsEligible(m tsfile.ChunkMeta, self int, all []tsfile.ChunkMeta, mem [][]TV, startT, maxT, window int64) bool {
-	if m.Stats == nil || m.MinTime < startT || m.MaxTime > maxT {
-		return false
-	}
-	if winagg.WindowStart(startT, m.MinTime, window) != winagg.WindowStart(startT, m.MaxTime, window) {
-		return false
-	}
-	for i, o := range all {
-		if i == self {
-			continue
+// aggSpan is one pruning unit the aggregation planner considers: a
+// whole (unblocked) chunk or a single block of a v3 chunk. chunkID
+// ties sibling blocks to their chunk so a whole-chunk candidate can
+// exclude its own blocks from the overlap check.
+type aggSpan struct {
+	chunkID    int
+	minT, maxT int64
+}
+
+// buildAggPlan partitions every overlapping chunk — at block
+// granularity where the v3 index allows — into stats-answered
+// contributions and decode sources. The overlap check needs every
+// candidate span across all files: a span fully inside the query range
+// can only be shadowed by spans that also intersect the range.
+func (e *Engine) buildAggPlan(qs *querySources, sensor string, startT, maxT, window int64) ([]statsContrib, []pointSource) {
+	perFile := make([][]tsfile.ChunkMeta, len(qs.files))
+	var spans []aggSpan
+	chunkSpanStart := []int{} // span index where each chunkID's spans begin
+	chunkID := 0
+	for i, fh := range qs.files {
+		perFile[i] = overlapping(fh, sensor, startT, maxT)
+		for _, m := range perFile[i] {
+			chunkSpanStart = append(chunkSpanStart, len(spans))
+			if len(m.Blocks) > 0 {
+				for _, b := range m.Blocks {
+					if b.MaxTime >= startT && b.MinTime <= maxT {
+						spans = append(spans, aggSpan{chunkID, b.MinTime, b.MaxTime})
+					}
+				}
+			} else {
+				spans = append(spans, aggSpan{chunkID, m.MinTime, m.MaxTime})
+			}
+			chunkID++
 		}
-		if o.MaxTime >= m.MinTime && o.MinTime <= m.MaxTime {
-			return false
+	}
+
+	// shadowFree reports that no span other than the excluded ones, and
+	// no memtable/flushing point, has a timestamp inside [lo, hi].
+	shadowFree := func(lo, hi int64, exclude func(si int) bool) bool {
+		for si, sp := range spans {
+			if exclude(si) {
+				continue
+			}
+			if sp.maxT >= lo && sp.minT <= hi {
+				return false
+			}
+		}
+		for _, scan := range qs.mem {
+			if anyPointIn(scan, lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	inOneWindow := func(lo, hi int64) bool {
+		return lo >= startT && hi <= maxT &&
+			winagg.WindowStart(startT, lo, window) == winagg.WindowStart(startT, hi, window)
+	}
+
+	var contribs []statsContrib
+	srcs := make([]pointSource, 0, len(qs.mem)+len(qs.files))
+	for _, s := range qs.mem {
+		srcs = append(srcs, &sliceSource{buf: s})
+	}
+	chunkID = 0
+	for i, fh := range qs.files {
+		var decode []tsfile.ChunkMeta
+		var decodeBlocks [][]tsfile.BlockMeta
+		for _, m := range perFile[i] {
+			id := chunkID
+			chunkID++
+			ownSpan := func(si int) bool {
+				return spans[si].chunkID == id
+			}
+			if m.Stats != nil && inOneWindow(m.MinTime, m.MaxTime) && shadowFree(m.MinTime, m.MaxTime, ownSpan) {
+				contribs = append(contribs, statsContrib{m.MinTime, m.Count, m.Stats})
+				e.chunksFromStats.Add(1)
+				e.pointsSkipped.Add(int64(m.Count))
+				continue
+			}
+			if len(m.Blocks) == 0 {
+				decode = append(decode, m)
+				decodeBlocks = append(decodeBlocks, nil)
+				continue
+			}
+			// Block granularity: answer what the per-block statistics
+			// can, decode the rest, seek past the out-of-range rest.
+			si := chunkSpanStart[id]
+			var rest []tsfile.BlockMeta
+			for _, b := range m.Blocks {
+				if b.MaxTime < startT || b.MinTime > maxT {
+					e.blocksSkipped.Add(1)
+					continue
+				}
+				self := si
+				si++
+				if b.Stats != nil && inOneWindow(b.MinTime, b.MaxTime) &&
+					shadowFree(b.MinTime, b.MaxTime, func(i int) bool { return i == self }) {
+					contribs = append(contribs, statsContrib{b.MinTime, b.Count, b.Stats})
+					e.blocksFromStats.Add(1)
+					e.pointsSkipped.Add(int64(b.Count))
+					continue
+				}
+				rest = append(rest, b)
+			}
+			if len(rest) > 0 {
+				decode = append(decode, m)
+				decodeBlocks = append(decodeBlocks, rest)
+			}
+		}
+		if len(decode) > 0 {
+			srcs = append(srcs, &fileSource{e: e, fh: fh, chunks: decode, blockSets: decodeBlocks, minT: startT, maxT: maxT})
 		}
 	}
-	for _, scan := range mem {
-		if anyPointIn(scan, m.MinTime, m.MaxTime) {
-			return false
-		}
-	}
-	return true
+	return contribs, srcs
 }

@@ -1,25 +1,413 @@
+// Compaction: streaming merges of flushed chunk files.
+//
+// Two paths share one merge core (mergeInto — the same k-way
+// newest-wins heap queries use, one chunk per input in memory at a
+// time, never a materialized file):
+//
+//   - Compact folds everything: in the flat layout, every file into a
+//     single sorted sequence file (the LSM-side complement of the
+//     separation policy — the paper's companion study "Separation or
+//     Not", ICDE 2022: out-of-order data parked in unsequence files is
+//     eventually folded back so reads stop paying a merge penalty); in
+//     the partitioned layout, every partition's files — plus the slice
+//     of any legacy flat-layout file that falls inside the partition —
+//     into one terminal-level file per partition. Pre-v3 files are
+//     upgraded to the block-indexed layout whenever the engine writes
+//     v3.
+//   - maybeCompact rides the flush path in partitioned mode: when a
+//     partition's L0 file count or a level's total size crosses its
+//     bound, a bounded pass merges an oldest-first prefix of that
+//     level (input capped at the level's size bound, minimum two
+//     files) into the next level. Passes run without the engine lock;
+//     queries that snapshotted the old files keep reading them through
+//     their reference counts even after the files are unlinked.
+//
+// DropPartitionsBefore is the retention path the partitioned layout
+// buys: a whole expired partition disappears as one directory unlink —
+// O(1), no rewriting.
 package engine
 
 import (
 	"fmt"
+	"math"
+	"os"
 	"path/filepath"
 	"sort"
 
 	"repro/internal/tsfile"
 )
 
-// Compact merges every flushed file — sequence and unsequence — into a
-// single sorted sequence file and deletes the originals. This is the
-// LSM-side complement of the separation policy (the paper's companion
-// study "Separation or Not", ICDE 2022): out-of-order data parked in
-// unsequence files is eventually folded back so reads stop paying a
-// merge penalty. Queries remain correct throughout; newest-wins
-// semantics for rewritten timestamps are preserved, and queries that
-// snapshotted the old files keep reading them through their reference
-// counts even after the files are unlinked.
+// compactSource streams one input file's chunks of one sensor,
+// restricted to [minT, maxT], decoding one chunk at a time. It is
+// fileSource minus the query-path read-amplification counters —
+// compaction I/O is accounted per pass, not per block.
+type compactSource struct {
+	fh         *fileHandle
+	chunks     []tsfile.ChunkMeta
+	minT, maxT int64
+	buf        []TV
+	pos        int
+}
+
+func (s *compactSource) next() (TV, bool, error) {
+	for {
+		if s.pos < len(s.buf) {
+			tv := s.buf[s.pos]
+			s.pos++
+			return tv, true, nil
+		}
+		if len(s.chunks) == 0 {
+			return TV{}, false, nil
+		}
+		m := s.chunks[0]
+		s.chunks = s.chunks[1:]
+		ts, vs, err := s.fh.reader.ReadChunk(m)
+		if err != nil {
+			return TV{}, false, fmt.Errorf("engine: compact read %s: %w", s.fh.path, err)
+		}
+		s.buf = s.buf[:0]
+		s.pos = 0
+		for i, t := range ts {
+			if t >= s.minT && t <= s.maxT {
+				s.buf = append(s.buf, TV{t, vs[i]})
+			}
+		}
+	}
+}
+
+// mergeInto streams the newest-wins merge of inputs (ordered oldest
+// generation first, as in e.files), restricted to [minT, maxT], into w
+// — sensor by sensor in sorted order, block by block in bounded
+// memory. blockPoints > 0 writes v3 chunks through the streaming
+// writer; otherwise legacy chunks are emitted in DefaultBlockPoints
+// slices so a huge sensor never has to materialize at once.
+func mergeInto(w *tsfile.Writer, inputs []*fileHandle, minT, maxT int64, blockPoints int) error {
+	seen := map[string]bool{}
+	var sensors []string
+	for _, fh := range inputs {
+		for _, m := range fh.index {
+			if !seen[m.Sensor] && m.MaxTime >= minT && m.MinTime <= maxT {
+				seen[m.Sensor] = true
+				sensors = append(sensors, m.Sensor)
+			}
+		}
+	}
+	sort.Strings(sensors)
+	cut := blockPoints
+	if cut <= 0 {
+		cut = DefaultBlockPoints
+	}
+	for _, sensor := range sensors {
+		// Sources newest-first, matching the rank convention of merge.
+		srcs := make([]pointSource, 0, len(inputs))
+		for i := len(inputs) - 1; i >= 0; i-- {
+			if chunks := overlapping(inputs[i], sensor, minT, maxT); len(chunks) > 0 {
+				srcs = append(srcs, &compactSource{fh: inputs[i], chunks: chunks, minT: minT, maxT: maxT})
+			}
+		}
+		m, err := newMerge(srcs)
+		if err != nil {
+			return err
+		}
+		ts := make([]int64, 0, cut)
+		vs := make([]float64, 0, cut)
+		begun := false
+		emit := func() error {
+			if len(ts) == 0 {
+				return nil
+			}
+			if blockPoints > 0 {
+				if !begun {
+					if err := w.BeginChunk(sensor); err != nil {
+						return err
+					}
+					begun = true
+				}
+				if err := w.AppendBlock(ts, vs); err != nil {
+					return err
+				}
+			} else if err := w.WriteChunk(sensor, ts, vs); err != nil {
+				return err
+			}
+			ts, vs = ts[:0], vs[:0]
+			return nil
+		}
+		for {
+			tv, ok, err := m.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			ts = append(ts, tv.T)
+			vs = append(vs, tv.V)
+			if len(ts) >= cut {
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := emit(); err != nil {
+			return err
+		}
+		if begun {
+			if err := w.EndChunk(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// levelBound is level n's total-size bound:
+// LevelBaseBytes · LevelGrowth^n.
+func (e *Engine) levelBound(level int) int64 {
+	b := e.cfg.LevelBaseBytes
+	for i := 0; i < level; i++ {
+		b *= int64(e.cfg.LevelGrowth)
+	}
+	return b
+}
+
+// notePass records one completed merge pass and its input volume.
+func (e *Engine) notePass(bytes int64) {
+	e.compactionPasses.Add(1)
+	e.compactionBytesRead.Add(bytes)
+	for {
+		cur := e.maxCompactionPass.Load()
+		if bytes <= cur || e.maxCompactionPass.CompareAndSwap(cur, bytes) {
+			return
+		}
+	}
+}
+
+// needsRewrite reports whether a lone file still warrants a Compact:
+// a pre-v3 file is upgraded to the block-indexed layout when the
+// engine writes v3, and a legacy flat-layout file is migrated into the
+// partition tree when partitioning is on.
+func (e *Engine) needsRewrite(fh *fileHandle) bool {
+	if e.blockPoints > 0 && fh.reader.Version() < 3 {
+		return true
+	}
+	return e.partitioned && !fh.partitioned
+}
+
+// swapCompacted replaces the input files with the output files in
+// e.files, inserting the outputs at the oldest input's position so
+// newest-wins ranks are preserved (everything older than every input
+// stays older; everything newer stays newer; files between input
+// positions belong to other partitions and share no timestamps).
+func (e *Engine) swapCompacted(inputs map[*fileHandle]bool, outputs []*fileHandle) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine: closed")
+	}
+	pos := -1
+	for i, fh := range e.files {
+		if inputs[fh] {
+			pos = i
+			break
+		}
+	}
+	kept := make([]*fileHandle, 0, len(e.files))
+	for i, fh := range e.files {
+		if i == pos {
+			kept = append(kept, outputs...)
+		}
+		if !inputs[fh] {
+			kept = append(kept, fh)
+		}
+	}
+	if pos < 0 {
+		kept = append(kept, outputs...)
+	}
+	e.files = kept
+	return nil
+}
+
+// retireInputs drops the files-list reference of each compacted input
+// and unlinks it. In-flight queries holding their own references keep
+// the reader open (and, on POSIX, the unlinked file readable) until
+// they finish.
+func (e *Engine) retireInputs(inputs []*fileHandle) error {
+	var firstErr error
+	dirs := map[string]bool{}
+	for _, fh := range inputs {
+		dirs[filepath.Dir(fh.path)] = true
+		if err := fh.release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := e.fs.Remove(fh.path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if e.walDurable && firstErr == nil {
+		names := make([]string, 0, len(dirs))
+		for d := range dirs {
+			names = append(names, d)
+		}
+		sort.Strings(names)
+		for _, d := range names {
+			if err := e.fs.SyncDir(d); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	return firstErr
+}
+
+// pickCompaction scans the partitioned levels for one over threshold
+// and returns a pinned oldest-first prefix of its files as the next
+// pass's inputs (nil when nothing is due). A level triggers at its
+// size bound with at least two files present — and L0 additionally at
+// L0CompactFiles files — and the terminal level never triggers. The
+// selected prefix stops once it would exceed the level bound (after
+// the two-file minimum), so a pass never reads more than one level's
+// bound.
+func (e *Engine) pickCompaction() (inputs []*fileHandle, part int64, level int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, 0, 0
+	}
+	type key struct {
+		part  int64
+		level int
+	}
+	groups := map[key][]*fileHandle{}
+	var keys []key
+	for _, fh := range e.files {
+		if !fh.partitioned || fh.level >= e.cfg.MaxLevel {
+			continue
+		}
+		k := key{fh.part, fh.level}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], fh)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].part != keys[b].part {
+			return keys[a].part < keys[b].part
+		}
+		return keys[a].level < keys[b].level
+	})
+	for _, k := range keys {
+		fhs := groups[k]
+		var total int64
+		for _, fh := range fhs {
+			total += fh.size
+		}
+		bound := e.levelBound(k.level)
+		due := total >= bound && len(fhs) >= 2
+		if k.level == 0 && len(fhs) >= e.cfg.L0CompactFiles {
+			due = true
+		}
+		if !due {
+			continue
+		}
+		var take []*fileHandle
+		var cum int64
+		for _, fh := range fhs {
+			if len(take) >= 2 && cum+fh.size > bound {
+				break
+			}
+			take = append(take, fh)
+			cum += fh.size
+		}
+		for _, fh := range take {
+			fh.acquire()
+		}
+		return take, k.part, k.level
+	}
+	return nil, 0, 0
+}
+
+// compactPass merges inputs (one partition, one level, pinned by
+// pickCompaction) into a single file at the next level.
+func (e *Engine) compactPass(part int64, level int, inputs []*fileHandle) error {
+	defer func() {
+		for _, fh := range inputs {
+			fh.release() // the pickCompaction pin
+		}
+	}()
+	var passBytes int64
+	for _, fh := range inputs {
+		passBytes += fh.size
+	}
+	e.mu.Lock()
+	e.fileSeq++
+	seq := e.fileSeq
+	e.mu.Unlock()
+	outLevel := level + 1
+	path := filepath.Join(e.cfg.Dir, fmt.Sprintf("p%d", part), fmt.Sprintf("L%d", outLevel),
+		fmt.Sprintf("seq-%06d.gtsf", seq))
+	err := e.writeChunkFile(path, true, func(w *tsfile.Writer) error {
+		return mergeInto(w, inputs, math.MinInt64, math.MaxInt64, e.blockPoints)
+	})
+	if err != nil {
+		return fmt.Errorf("engine: compact p%d/L%d: %w", part, level, err)
+	}
+	r, err := tsfile.Open(path)
+	if err != nil {
+		e.fs.Remove(path)
+		return err
+	}
+	out := newFileHandle(path, r, false)
+	out.partitioned, out.part, out.level, out.seqNo = true, part, outLevel, seq
+	inSet := make(map[*fileHandle]bool, len(inputs))
+	for _, fh := range inputs {
+		inSet[fh] = true
+	}
+	if err := e.swapCompacted(inSet, []*fileHandle{out}); err != nil {
+		out.release()
+		e.fs.Remove(path)
+		return err
+	}
+	e.notePass(passBytes)
+	return e.retireInputs(inputs)
+}
+
+// maybeCompact runs bounded leveled passes until no level is over its
+// threshold. It is called after each partitioned flush publishes;
+// passes are serialized on compactMu and never hold the engine lock
+// while merging. Each pass folds at least two files into one, so the
+// loop terminates. Failures are recorded like flush failures and stop
+// further passes; the inputs stay live, so no data is at risk.
+func (e *Engine) maybeCompact() {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	for {
+		inputs, part, level := e.pickCompaction()
+		if inputs == nil {
+			return
+		}
+		if err := e.compactPass(part, level, inputs); err != nil {
+			e.recordFlushErr(err)
+			return
+		}
+	}
+}
+
+// Compact folds the whole store. In the flat layout every flushed file
+// — sequence and unsequence — merges into a single sorted sequence
+// file and the originals are deleted. In the partitioned layout every
+// partition's files fold into one terminal-level (MaxLevel) file per
+// partition, and legacy flat-layout files are migrated: each one's
+// points are split at partition boundaries and folded into the
+// partitions they belong to. Either way pre-v3 inputs come out in the
+// engine's configured chunk layout — the v1/v2 → v3 upgrade path.
+// Newest-wins semantics for rewritten timestamps are preserved, and
+// queries that snapshotted the old files keep reading them through
+// their reference counts even after the files are unlinked. As a
+// fold-everything operation it is exempt from the per-pass level
+// bound that caps the automatic path.
 func (e *Engine) Compact() error {
-	// One compaction at a time: concurrent Compacts would race to
-	// retire the same handles.
+	// One compaction at a time: concurrent passes would race to retire
+	// the same handles.
 	e.compactMu.Lock()
 	defer e.compactMu.Unlock()
 
@@ -39,95 +427,28 @@ func (e *Engine) Compact() error {
 			fh.release()
 		}
 	}
-	if len(old) < 2 {
+	if e.partitioned {
+		return e.compactPartitionedFull(old, releaseOld)
+	}
+	if len(old) == 0 || (len(old) == 1 && !e.needsRewrite(old[0])) {
 		releaseOld()
 		return nil // nothing to fold
 	}
-
-	// Collect per-sensor records, newest file last so that a simple
-	// "later write wins" pass resolves duplicates (e.files is ordered
-	// oldest → newest, and unsequence rewrites land in later files).
-	type rec struct {
-		t    int64
-		v    float64
-		rank int
+	var passBytes int64
+	for _, fh := range old {
+		passBytes += fh.size
 	}
-	perSensor := make(map[string][]rec)
-	for rank, fh := range old {
-		for _, m := range fh.index {
-			ts, vs, err := fh.reader.ReadChunk(m)
-			if err != nil {
-				releaseOld()
-				return fmt.Errorf("engine: compact read %s: %w", fh.path, err)
-			}
-			for i := range ts {
-				perSensor[m.Sensor] = append(perSensor[m.Sensor], rec{ts[i], vs[i], rank})
-			}
-		}
-	}
-
 	e.mu.Lock()
 	e.fileSeq++
 	seq := e.fileSeq
 	e.mu.Unlock()
-	// Same atomic-publication protocol as flush: assemble at a .tmp
-	// path, rename into place once complete, fsync the directory under
-	// a durable policy. A crash mid-compaction leaves the inputs
-	// untouched and at worst a quarantinable .tmp.
 	path := filepath.Join(e.cfg.Dir, fmt.Sprintf("seq-%06d.gtsf", seq))
-	tmp := path + ".tmp"
-	w, err := tsfile.CreateFS(e.fs, tmp)
+	err := e.writeChunkFile(path, false, func(w *tsfile.Writer) error {
+		return mergeInto(w, old, math.MinInt64, math.MaxInt64, e.blockPoints)
+	})
 	if err != nil {
 		releaseOld()
-		return err
-	}
-	w.SyncOnClose = e.walDurable
-	sensors := make([]string, 0, len(perSensor))
-	for s := range perSensor {
-		sensors = append(sensors, s)
-	}
-	sort.Strings(sensors)
-	for _, sensor := range sensors {
-		recs := perSensor[sensor]
-		sort.SliceStable(recs, func(a, b int) bool {
-			if recs[a].t != recs[b].t {
-				return recs[a].t < recs[b].t
-			}
-			return recs[a].rank < recs[b].rank
-		})
-		ts := make([]int64, 0, len(recs))
-		vs := make([]float64, 0, len(recs))
-		for _, r := range recs {
-			if n := len(ts); n > 0 && ts[n-1] == r.t {
-				vs[n-1] = r.v // later rank wins
-				continue
-			}
-			ts = append(ts, r.t)
-			vs = append(vs, r.v)
-		}
-		if err := w.WriteChunk(sensor, ts, vs); err != nil {
-			w.Close()
-			e.fs.Remove(tmp)
-			releaseOld()
-			return fmt.Errorf("engine: compact write: %w", err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		e.fs.Remove(tmp)
-		releaseOld()
-		return err
-	}
-	if err := e.fs.Rename(tmp, path); err != nil {
-		e.fs.Remove(tmp)
-		releaseOld()
-		return fmt.Errorf("engine: compact publish %s: %w", path, err)
-	}
-	if e.walDurable {
-		if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
-			e.fs.Remove(path)
-			releaseOld()
-			return fmt.Errorf("engine: compact publish sync %s: %w", e.cfg.Dir, err)
-		}
+		return fmt.Errorf("engine: compact: %w", err)
 	}
 	r, err := tsfile.Open(path)
 	if err != nil {
@@ -135,55 +456,209 @@ func (e *Engine) Compact() error {
 		releaseOld()
 		return err
 	}
-	newHandle := newFileHandle(path, r, false)
-
-	// Swap: replace the compacted inputs with the new file, keeping
-	// any files a concurrent flush published in the meantime.
-	compacted := make(map[*fileHandle]bool, len(old))
+	out := newFileHandle(path, r, false)
+	out.seqNo = seq
+	inSet := make(map[*fileHandle]bool, len(old))
 	for _, fh := range old {
-		compacted[fh] = true
+		inSet[fh] = true
 	}
-	e.mu.Lock()
-	if e.closed {
+	if err := e.swapCompacted(inSet, []*fileHandle{out}); err != nil {
 		// The engine shut down mid-compaction. Leave the old files —
 		// they are still the durable truth — and drop the new one.
-		e.mu.Unlock()
-		newHandle.release()
+		out.release()
 		e.fs.Remove(path)
 		releaseOld()
-		return fmt.Errorf("engine: closed")
+		return err
 	}
-	kept := []*fileHandle{newHandle}
-	for _, fh := range e.files {
-		if !compacted[fh] {
-			kept = append(kept, fh)
-		}
-	}
-	e.files = kept
-	e.mu.Unlock()
-
-	var firstErr error
-	for _, fh := range old {
-		fh.release() // the read-phase pin
-		// Drop the files-list reference the swap removed; in-flight
-		// queries holding their own references keep the reader open
-		// (and, on POSIX, the unlinked file readable) until they
-		// finish.
-		if err := fh.release(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if err := e.fs.Remove(fh.path); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr == nil && e.walDurable && len(old) > 0 {
-		firstErr = e.fs.SyncDir(e.cfg.Dir)
-	}
+	e.notePass(passBytes)
+	firstErr := e.retireInputs(old)
+	releaseOld()
 	return firstErr
 }
 
+// compactPartitionedFull is Compact under the partitioned layout: one
+// terminal-level file per partition, legacy flat-layout files split at
+// partition boundaries and absorbed. Partitions already reduced to a
+// single up-to-date file are left alone.
+func (e *Engine) compactPartitionedFull(old []*fileHandle, releaseOld func()) error {
+	var legacy []*fileHandle
+	partSet := map[int64]bool{}
+	for _, fh := range old {
+		if fh.partitioned {
+			partSet[fh.part] = true
+		} else {
+			legacy = append(legacy, fh)
+			for _, m := range fh.index {
+				for p := e.partitionOf(m.MinTime); p <= e.partitionOf(m.MaxTime); p++ {
+					partSet[p] = true
+				}
+			}
+		}
+	}
+	parts := make([]int64, 0, len(partSet))
+	for p := range partSet {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a] < parts[b] })
+
+	var outputs []*fileHandle
+	inputsUsed := map[*fileHandle]bool{}
+	fail := func(err error) error {
+		for _, out := range outputs {
+			out.release()
+			e.fs.Remove(out.path)
+		}
+		releaseOld()
+		return err
+	}
+	for _, p := range parts {
+		lo, hi := e.partitionBounds(p)
+		var inputs []*fileHandle
+		for _, fh := range old { // e.files order = oldest first
+			if fh.partitioned {
+				if fh.part == p {
+					inputs = append(inputs, fh)
+				}
+			} else if fileOverlaps(fh, lo, hi) {
+				inputs = append(inputs, fh)
+			}
+		}
+		if len(inputs) == 0 ||
+			(len(inputs) == 1 && inputs[0].partitioned && !e.needsRewrite(inputs[0])) {
+			continue
+		}
+		e.mu.Lock()
+		e.fileSeq++
+		seq := e.fileSeq
+		e.mu.Unlock()
+		path := filepath.Join(e.cfg.Dir, fmt.Sprintf("p%d", p), fmt.Sprintf("L%d", e.cfg.MaxLevel),
+			fmt.Sprintf("seq-%06d.gtsf", seq))
+		err := e.writeChunkFile(path, true, func(w *tsfile.Writer) error {
+			return mergeInto(w, inputs, lo, hi, e.blockPoints)
+		})
+		if err != nil {
+			return fail(fmt.Errorf("engine: compact p%d: %w", p, err))
+		}
+		r, err := tsfile.Open(path)
+		if err != nil {
+			e.fs.Remove(path)
+			return fail(err)
+		}
+		out := newFileHandle(path, r, false)
+		out.partitioned, out.part, out.level, out.seqNo = true, p, e.cfg.MaxLevel, seq
+		outputs = append(outputs, out)
+		for _, fh := range inputs {
+			inputsUsed[fh] = true
+		}
+	}
+	if len(outputs) == 0 {
+		releaseOld()
+		return nil
+	}
+	if err := e.swapCompacted(inputsUsed, outputs); err != nil {
+		return fail(err)
+	}
+	var passBytes int64
+	retired := make([]*fileHandle, 0, len(inputsUsed))
+	for _, fh := range old {
+		if inputsUsed[fh] {
+			retired = append(retired, fh)
+			passBytes += fh.size
+		}
+	}
+	e.notePass(passBytes)
+	firstErr := e.retireInputs(retired)
+	releaseOld()
+	return firstErr
+}
+
+// fileOverlaps reports whether any chunk of fh intersects [lo, hi]
+// regardless of sensor.
+func fileOverlaps(fh *fileHandle, lo, hi int64) bool {
+	for _, m := range fh.index {
+		if m.MaxTime >= lo && m.MinTime <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// DropPartitionsBefore removes every time partition wholly before
+// cutoff — each is one directory unlink, O(1) in the partition's data
+// volume. A partition [p·d, (p+1)·d) qualifies when its last covered
+// instant precedes cutoff, i.e. (p+1)·d <= cutoff. Legacy flat-layout
+// files are never dropped (their time ranges are unbounded; fold them
+// into partitions with Compact first). The separation watermarks are
+// deliberately not rewound: re-inserting a dropped timestamp still
+// routes through the unsequence path, exactly as any rewrite of
+// flushed history does. Returns the number of partitions removed.
+func (e *Engine) DropPartitionsBefore(cutoff int64) (int, error) {
+	if !e.partitioned {
+		return 0, fmt.Errorf("engine: DropPartitionsBefore requires PartitionDuration > 0")
+	}
+	e.compactMu.Lock() // no pass may be mid-merge over a dropped partition
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: closed")
+	}
+	var kept, victims []*fileHandle
+	for _, fh := range e.files {
+		if fh.partitioned {
+			if _, hi := e.partitionBounds(fh.part); hi < cutoff {
+				victims = append(victims, fh)
+				continue
+			}
+		}
+		kept = append(kept, fh)
+	}
+	e.files = kept
+	e.mu.Unlock()
+	var firstErr error
+	for _, fh := range victims {
+		if err := fh.release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Unlink expired partition directories. Scanning the directory
+	// (rather than the victim handles) also reclaims partitions whose
+	// files were already compacted away or quarantined.
+	entries, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		p, ok := parsePartitionDir(ent.Name())
+		if !ok {
+			continue
+		}
+		if _, hi := e.partitionBounds(p); hi >= cutoff {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(e.cfg.Dir, ent.Name())); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		dropped++
+	}
+	if dropped > 0 {
+		e.partitionsDropped.Add(int64(dropped))
+		if e.walDurable && firstErr == nil {
+			firstErr = e.fs.SyncDir(e.cfg.Dir)
+		}
+	}
+	return dropped, firstErr
+}
+
 // FileCount reports how many flushed files the engine currently holds
-// (compaction reduces it to one).
+// (a flat-layout Compact reduces it to one).
 func (e *Engine) FileCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()

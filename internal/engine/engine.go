@@ -26,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +71,20 @@ const DefaultMemTableSize = 100000
 // the 2·O(n) coalesce/scatter copies and the pool round-trip rival the
 // kernel's constant-factor win; above it the kernel dominates.
 const DefaultFlatSortThreshold = 4096
+
+// DefaultBlockPoints is the target points-per-block for the v3 chunk
+// layout when Config.BlockPoints is zero. Small enough that a
+// narrow-range query decodes a fraction of a big chunk, large enough
+// that the per-block CRC + index entry stays under ~1% overhead.
+const DefaultBlockPoints = 4096
+
+// Leveled-compaction defaults (Config.L0CompactFiles and friends).
+const (
+	DefaultL0CompactFiles = 4
+	DefaultLevelBaseBytes = 4 << 20
+	DefaultLevelGrowth    = 10
+	DefaultMaxLevel       = 4
+)
 
 // Config configures an Engine.
 type Config struct {
@@ -135,6 +151,37 @@ type Config struct {
 	// FlushWorkers is ignored then, and Close leaves the pool running
 	// for its owner to stop.
 	SharedPool *SharedFlushPool
+	// BlockPoints selects the tsfile chunk layout for flushed and
+	// compacted files: > 0 writes format v3 with ~BlockPoints points
+	// per independently CRC'd, independently indexed block, 0 selects
+	// DefaultBlockPoints, and a negative value pins the legacy v2
+	// single-unit chunks — cmd/repro uses -1 so the paper's write path
+	// stays byte-for-byte.
+	BlockPoints int
+	// PartitionDuration, when > 0, enables time-partitioned leveled
+	// storage: flush output lands under p<epoch>/L0/ (epoch =
+	// floor(t / PartitionDuration)), per-level size bounds trigger
+	// bounded merges into the next level after each flush, and whole
+	// expired partitions drop in O(1) via DropPartitionsBefore. 0
+	// keeps the flat single-directory layout and Compact's
+	// fold-everything semantics.
+	PartitionDuration int64
+	// L0CompactFiles triggers a level-0 merge in a partition once its
+	// L0 holds at least this many files (default
+	// DefaultL0CompactFiles). Partitioned mode only.
+	L0CompactFiles int
+	// LevelBaseBytes is the level-0 size bound; level n is bounded by
+	// LevelBaseBytes · LevelGrowth^n (defaults DefaultLevelBaseBytes /
+	// DefaultLevelGrowth). An automatic compaction pass never reads
+	// more than one level's bound per pass.
+	LevelBaseBytes int64
+	// LevelGrowth is the per-level bound multiplier (default
+	// DefaultLevelGrowth).
+	LevelGrowth int
+	// MaxLevel is the deepest level automatic compaction creates
+	// (default DefaultMaxLevel). The terminal level is never rewritten
+	// by the automatic path; a full Compact still folds it.
+	MaxLevel int
 }
 
 // TV is one query result record.
@@ -190,6 +237,21 @@ type Stats struct {
 	ChunksFromStats int64
 	ChunksDecoded   int64
 	PointsSkipped   int64
+	// Read-amplification counters (v3 block index): file bytes
+	// fetched for decode on the query path, and the per-block outcome
+	// of the time-range seek — decoded vs skipped without I/O.
+	// BlocksFromStats counts blocks answered from per-block statistics
+	// (the block-granular extension of ChunksFromStats).
+	BytesRead       int64
+	BlocksDecoded   int64
+	BlocksSkipped   int64
+	BlocksFromStats int64
+	// Leveled compaction and time-partition lifecycle.
+	CompactionPasses       int64 // merge passes completed (automatic + full)
+	CompactionBytesRead    int64 // input bytes consumed by those passes
+	MaxCompactionPassBytes int64 // largest single pass's input bytes
+	PartitionsDropped      int64 // partitions removed by DropPartitionsBefore
+	PartitionsActive       int   // distinct time partitions currently on disk
 }
 
 // Engine is the storage engine. All methods are safe for concurrent
@@ -275,6 +337,24 @@ type Engine struct {
 	chunksFromStats atomic.Int64
 	chunksDecoded   atomic.Int64
 	pointsSkipped   atomic.Int64
+
+	// Read-amplification observability (lock-free; the file read path
+	// feeds them).
+	bytesRead       atomic.Int64
+	blocksDecoded   atomic.Int64
+	blocksSkipped   atomic.Int64
+	blocksFromStats atomic.Int64
+
+	// Compaction/partition observability.
+	compactionPasses    atomic.Int64
+	compactionBytesRead atomic.Int64
+	maxCompactionPass   atomic.Int64
+	partitionsDropped   atomic.Int64
+
+	// Partitioned-mode settings, resolved at Open. blockPoints <= 0
+	// means the legacy v2 chunk layout.
+	blockPoints int
+	partitioned bool
 }
 
 // flushUnit is one immutable memtable pair being drained. Its chunks
@@ -305,10 +385,21 @@ type fileHandle struct {
 	index  []tsfile.ChunkMeta
 	unseq  bool
 	refs   atomic.Int64
+	size   int64 // on-disk bytes, for level bounds and pass accounting
+	// Placement under the partitioned layout. Legacy flat-layout files
+	// have partitioned == false; they rank oldest and are folded into
+	// partitions by the next full Compact.
+	partitioned bool
+	part        int64
+	level       int
+	seqNo       int
 }
 
 func newFileHandle(path string, r *tsfile.Reader, unseq bool) *fileHandle {
 	h := &fileHandle{path: path, reader: r, index: r.Index(), unseq: unseq}
+	if st, err := os.Stat(path); err == nil {
+		h.size = st.Size()
+	}
 	h.refs.Store(1)
 	return h
 }
@@ -371,6 +462,28 @@ func Open(cfg Config) (*Engine, error) {
 	if fs == nil {
 		fs = faultfs.OS
 	}
+	blockPoints := cfg.BlockPoints
+	if blockPoints == 0 {
+		blockPoints = DefaultBlockPoints
+	}
+	if blockPoints < 0 {
+		blockPoints = 0 // legacy v2 chunk layout
+	}
+	if cfg.PartitionDuration < 0 {
+		return nil, fmt.Errorf("engine: negative PartitionDuration %d", cfg.PartitionDuration)
+	}
+	if cfg.L0CompactFiles <= 0 {
+		cfg.L0CompactFiles = DefaultL0CompactFiles
+	}
+	if cfg.LevelBaseBytes <= 0 {
+		cfg.LevelBaseBytes = DefaultLevelBaseBytes
+	}
+	if cfg.LevelGrowth <= 1 {
+		cfg.LevelGrowth = DefaultLevelGrowth
+	}
+	if cfg.MaxLevel <= 0 {
+		cfg.MaxLevel = DefaultMaxLevel
+	}
 	e := &Engine{
 		cfg:           cfg,
 		algo:          algo,
@@ -384,6 +497,8 @@ func Open(cfg Config) (*Engine, error) {
 		workingUn:     memtable.New(cfg.ArrayLen),
 		lastFlushed:   make(map[string]int64),
 		latest:        make(map[string]int64),
+		blockPoints:   blockPoints,
+		partitioned:   cfg.PartitionDuration > 0,
 	}
 	if cfg.SharedPool != nil {
 		e.pool = cfg.SharedPool.p
@@ -545,28 +660,29 @@ func (e *Engine) quarantine(path string) error {
 	return nil
 }
 
-// recover loads pre-existing flushed files from the data directory.
-// Leftover flush temporaries (crash before the publishing rename) and
-// chunk files that fail header/footer/index validation are quarantined
+// recoverChunkDir loads the chunk files of one directory. Leftover
+// flush temporaries (crash before the publishing rename) and chunk
+// files that fail header/footer/index validation are quarantined
 // rather than served or fatal: a crash mid-publication must never
 // leave the directory unopenable, and a torn file must never answer a
-// query.
-func (e *Engine) recover() error {
-	entries, err := os.ReadDir(e.cfg.Dir)
+// query. Handles are returned in directory (lexicographic) order.
+func (e *Engine) recoverChunkDir(dir string, partitioned bool, part int64, level int) ([]*fileHandle, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var out []*fileHandle
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() {
 			continue
 		}
 		if strings.HasSuffix(name, ".gtsf.tmp") {
-			// A flush died between Create and the publishing rename.
-			// The WAL still covers this generation; the partial file is
-			// garbage.
-			if err := e.quarantine(filepath.Join(e.cfg.Dir, name)); err != nil {
-				return err
+			// A flush or compaction died between Create and the
+			// publishing rename. The WAL still covers any unflushed
+			// generation; the partial file is garbage.
+			if err := e.quarantine(filepath.Join(dir, name)); err != nil {
+				return nil, err
 			}
 			continue
 		}
@@ -577,32 +693,122 @@ func (e *Engine) recover() error {
 		if !unseq && !strings.HasPrefix(name, "seq-") {
 			continue
 		}
-		path := filepath.Join(e.cfg.Dir, name)
+		path := filepath.Join(dir, name)
 		r, err := tsfile.Open(path)
 		if err != nil {
 			if errors.Is(err, tsfile.ErrCorrupt) {
 				if qerr := e.quarantine(path); qerr != nil {
-					return qerr
+					return nil, qerr
 				}
 				continue
 			}
-			return fmt.Errorf("engine: recover %s: %w", name, err)
+			return nil, fmt.Errorf("engine: recover %s: %w", name, err)
 		}
 		fh := newFileHandle(path, r, unseq)
-		e.files = append(e.files, fh)
+		fh.partitioned = partitioned
+		fh.part = part
+		fh.level = level
+		// Keep new flush files numbered after the recovered ones.
+		if _, err := fmt.Sscanf(strings.TrimPrefix(strings.TrimPrefix(name, "unseq-"), "seq-"), "%d.gtsf", &fh.seqNo); err == nil {
+			if fh.seqNo > e.fileSeq {
+				e.fileSeq = fh.seqNo
+			}
+		}
+		out = append(out, fh)
+	}
+	return out, nil
+}
+
+// parsePartitionDir parses a time-partition directory name ("p<epoch>",
+// epoch possibly negative).
+func parsePartitionDir(name string) (int64, bool) {
+	if len(name) < 2 || name[0] != 'p' {
+		return 0, false
+	}
+	part, err := strconv.ParseInt(name[1:], 10, 64)
+	return part, err == nil
+}
+
+// parseLevelDir parses a compaction-level directory name ("L<n>").
+func parseLevelDir(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'L' {
+		return 0, false
+	}
+	level, err := strconv.Atoi(name[1:])
+	if err != nil || level < 0 {
+		return 0, false
+	}
+	return level, true
+}
+
+// recover loads pre-existing flushed files: flat-layout files in the
+// root of the data directory (the legacy layout, still the default),
+// then partitioned files under p<epoch>/L<level>/. The files list must
+// end up ordered oldest generation first — that ordering is what gives
+// newest-wins dedup its ranks — so legacy files come first (they
+// predate any partitioned run, and keep their historical lexicographic
+// order), and partitioned files follow sorted by partition, then level
+// descending (higher levels hold older, already-compacted data), then
+// sequence number (a same-level file with a higher sequence is newer).
+func (e *Engine) recover() error {
+	legacy, err := e.recoverChunkDir(e.cfg.Dir, false, 0, 0)
+	if err != nil {
+		return err
+	}
+	e.files = append(e.files, legacy...)
+
+	entries, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var parts []*fileHandle
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		part, ok := parsePartitionDir(ent.Name())
+		if !ok {
+			continue
+		}
+		partDir := filepath.Join(e.cfg.Dir, ent.Name())
+		levels, err := os.ReadDir(partDir)
+		if err != nil {
+			return err
+		}
+		for _, lent := range levels {
+			if !lent.IsDir() {
+				continue
+			}
+			level, ok := parseLevelDir(lent.Name())
+			if !ok {
+				continue
+			}
+			hs, err := e.recoverChunkDir(filepath.Join(partDir, lent.Name()), true, part, level)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, hs...)
+		}
+	}
+	sort.SliceStable(parts, func(a, b int) bool {
+		x, y := parts[a], parts[b]
+		if x.part != y.part {
+			return x.part < y.part
+		}
+		if x.level != y.level {
+			return x.level > y.level
+		}
+		return x.seqNo < y.seqNo
+	})
+	e.files = append(e.files, parts...)
+
+	for _, fh := range e.files {
 		for _, m := range fh.index {
-			if !unseq && m.MaxTime > e.lastFlushed[m.Sensor] {
+			if !fh.unseq && m.MaxTime > e.lastFlushed[m.Sensor] {
 				e.lastFlushed[m.Sensor] = m.MaxTime
 			}
 			if m.MaxTime > e.latest[m.Sensor] {
 				e.latest[m.Sensor] = m.MaxTime
-			}
-		}
-		// Keep new flush files numbered after the recovered ones.
-		var seqNo int
-		if _, err := fmt.Sscanf(strings.TrimPrefix(strings.TrimPrefix(name, "unseq-"), "seq-"), "%d.gtsf", &seqNo); err == nil {
-			if seqNo > e.fileSeq {
-				e.fileSeq = seqNo
 			}
 		}
 	}
@@ -757,12 +963,84 @@ func (e *Engine) recordFlushErr(err error) {
 	e.statsMu.Unlock()
 }
 
+// partitionOf returns the time-partition index of t (floor division,
+// so negative timestamps land in negative partitions). Partitioned
+// mode only.
+func (e *Engine) partitionOf(t int64) int64 {
+	d := e.cfg.PartitionDuration
+	p := t / d
+	if t < 0 && t%d != 0 {
+		p--
+	}
+	return p
+}
+
+// partitionBounds is partitionOf's inverse: partition p covers
+// [p·d, (p+1)·d).
+func (e *Engine) partitionBounds(p int64) (lo, hi int64) {
+	d := e.cfg.PartitionDuration
+	return p * d, (p+1)*d - 1
+}
+
+// writeChunkFile assembles one chunk file at path (creating its
+// directory first under the partitioned layout) with the same atomic
+// publication protocol flush has always used: build at a .tmp path,
+// rename into place only once complete — and, under a durable sync
+// policy, fsync the file before the rename and the directory after. A
+// crash at any point leaves either no file or a .tmp that recovery
+// quarantines, never a torn file at a servable name.
+func (e *Engine) writeChunkFile(path string, mkdir bool, write func(w *tsfile.Writer) error) error {
+	dir := filepath.Dir(path)
+	if mkdir {
+		if err := e.fs.MkdirAll(dir); err != nil {
+			return fmt.Errorf("engine: flush mkdir %s: %w", dir, err)
+		}
+	}
+	tmp := path + ".tmp"
+	w, err := tsfile.CreateFS(e.fs, tmp)
+	if err != nil {
+		return fmt.Errorf("engine: flush create %s: %w", tmp, err)
+	}
+	w.BlockPoints = e.blockPoints
+	w.SyncOnClose = e.walDurable
+	if err := write(w); err != nil {
+		w.Close()
+		e.fs.Remove(tmp)
+		return fmt.Errorf("engine: flush write %s: %w", tmp, err)
+	}
+	if err := w.Close(); err != nil {
+		e.fs.Remove(tmp)
+		return fmt.Errorf("engine: flush close %s: %w", tmp, err)
+	}
+	if err := e.fs.Rename(tmp, path); err != nil {
+		e.fs.Remove(tmp)
+		return fmt.Errorf("engine: flush publish %s: %w", path, err)
+	}
+	if e.walDurable {
+		if err := e.fs.SyncDir(dir); err != nil {
+			e.fs.Remove(path)
+			return fmt.Errorf("engine: flush publish sync %s: %w", dir, err)
+		}
+		if mkdir {
+			// The partition/level directories may be new; their own
+			// durability hangs off the root directory entry.
+			if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
+				e.fs.Remove(path)
+				return fmt.Errorf("engine: flush publish sync %s: %w", e.cfg.Dir, err)
+			}
+		}
+	}
+	return nil
+}
+
 // drain sorts, encodes and writes one flushing unit to disk, then
 // publishes the resulting files and retires the unit. Chunk sorting
 // and encoding fan out across the engine's flush worker pool; the
 // encoded chunks are appended to the file in deterministic (sorted
-// sensor) order by this goroutine. A failure mid-drain closes and
-// removes everything the drain created — the unit stays in the
+// sensor) order by this goroutine. Under the partitioned layout a
+// sensor's sorted points are split at time-partition boundaries and
+// each partition gets its own level-0 file. A failure mid-drain closes
+// and removes everything the drain created — the unit stays in the
 // flushing list (its data remains queryable from memory, and no
 // partial .gtsf file is left for recover() to trip over on the next
 // Open) — and records the error for Query/Close to surface.
@@ -777,6 +1055,12 @@ func (e *Engine) drain(unit *flushUnit) {
 		}
 		e.recordFlushErr(err)
 	}
+	// One encoded chunk destined for one partition's file (part is 0
+	// and unused in flat mode).
+	type pchunk struct {
+		part int64
+		enc  *tsfile.EncodedChunk
+	}
 	for _, part := range []struct {
 		mt    *memtable.MemTable
 		unseq bool
@@ -785,14 +1069,8 @@ func (e *Engine) drain(unit *flushUnit) {
 		if part.mt.Empty() {
 			continue
 		}
-		e.mu.Lock()
-		e.fileSeq++
-		seq := e.fileSeq
-		e.mu.Unlock()
-		path := filepath.Join(e.cfg.Dir, fmt.Sprintf("%s-%06d.gtsf", part.kind, seq))
-
 		sensors := part.mt.Sensors()
-		encoded := make([]*tsfile.EncodedChunk, len(sensors))
+		encoded := make([][]pchunk, len(sensors))
 		errs := make([]error, len(sensors))
 		jobs := make([]func(), len(sensors))
 		mt := part.mt
@@ -807,70 +1085,94 @@ func (e *Engine) drain(unit *flushUnit) {
 				ts, vs := chunk.ToSlices()
 				mu.Unlock()
 				t1 := time.Now()
-				enc, err := tsfile.EncodeChunk(sensor, ts, vs)
-				encodeNanos.Add(int64(time.Since(t1)))
-				if err != nil {
-					errs[i] = err
+				defer func() { encodeNanos.Add(int64(time.Since(t1))) }()
+				if !e.partitioned {
+					enc, err := tsfile.EncodeChunkBlocks(sensor, ts, vs, e.blockPoints)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					encoded[i] = []pchunk{{0, enc}}
 					return
 				}
-				encoded[i] = enc
+				// Split the sorted run at partition boundaries; each
+				// segment becomes a chunk in its partition's L0 file.
+				for start := 0; start < len(ts); {
+					p := e.partitionOf(ts[start])
+					end := start + 1
+					for end < len(ts) && e.partitionOf(ts[end]) == p {
+						end++
+					}
+					enc, err := tsfile.EncodeChunkBlocks(sensor, ts[start:end], vs[start:end], e.blockPoints)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					encoded[i] = append(encoded[i], pchunk{p, enc})
+					start = end
+				}
 			}
 		}
 		e.pool.do(jobs)
 		for _, err := range errs {
 			if err != nil {
-				fail(fmt.Errorf("engine: flush encode %s: %w", path, err))
+				fail(fmt.Errorf("engine: flush encode (%s): %w", part.kind, err))
 				return
 			}
 		}
 
-		// Atomic publication: the chunk file is assembled at a .tmp
-		// path and renamed into place only once complete (and, under a
-		// durable sync policy, fsynced first, with the directory
-		// fsynced after). A crash at any point leaves either no file
-		// or a .tmp that recovery quarantines — never a torn file at a
-		// servable name.
+		// Group chunks by destination partition, preserving sensor
+		// order within each file.
+		perPart := map[int64][]*tsfile.EncodedChunk{}
+		var partIDs []int64
+		for _, chunks := range encoded {
+			for _, pc := range chunks {
+				if _, ok := perPart[pc.part]; !ok {
+					partIDs = append(partIDs, pc.part)
+				}
+				perPart[pc.part] = append(perPart[pc.part], pc.enc)
+			}
+		}
+		sort.Slice(partIDs, func(a, b int) bool { return partIDs[a] < partIDs[b] })
+
 		t2 := time.Now()
-		tmp := path + ".tmp"
-		w, err := tsfile.CreateFS(e.fs, tmp)
-		if err != nil {
-			fail(fmt.Errorf("engine: flush create %s: %w", tmp, err))
-			return
-		}
-		w.SyncOnClose = e.walDurable
-		for _, enc := range encoded {
-			if err := w.AppendEncoded(enc); err != nil {
-				w.Close()
-				e.fs.Remove(tmp)
-				fail(fmt.Errorf("engine: flush write %s: %w", tmp, err))
+		for _, p := range partIDs {
+			e.mu.Lock()
+			e.fileSeq++
+			seq := e.fileSeq
+			e.mu.Unlock()
+			var path string
+			if e.partitioned {
+				path = filepath.Join(e.cfg.Dir, fmt.Sprintf("p%d", p), "L0",
+					fmt.Sprintf("%s-%06d.gtsf", part.kind, seq))
+			} else {
+				path = filepath.Join(e.cfg.Dir, fmt.Sprintf("%s-%06d.gtsf", part.kind, seq))
+			}
+			err := e.writeChunkFile(path, e.partitioned, func(w *tsfile.Writer) error {
+				for _, enc := range perPart[p] {
+					if err := w.AppendEncoded(enc); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				fail(err)
 				return
 			}
-		}
-		if err := w.Close(); err != nil {
-			e.fs.Remove(tmp)
-			fail(fmt.Errorf("engine: flush close %s: %w", tmp, err))
-			return
-		}
-		if err := e.fs.Rename(tmp, path); err != nil {
-			e.fs.Remove(tmp)
-			fail(fmt.Errorf("engine: flush publish %s: %w", path, err))
-			return
-		}
-		if e.walDurable {
-			if err := e.fs.SyncDir(e.cfg.Dir); err != nil {
+			r, err := tsfile.Open(path)
+			if err != nil {
 				e.fs.Remove(path)
-				fail(fmt.Errorf("engine: flush publish sync %s: %w", e.cfg.Dir, err))
+				fail(fmt.Errorf("engine: flush reopen %s: %w", path, err))
 				return
 			}
+			fh := newFileHandle(path, r, part.unseq)
+			fh.partitioned = e.partitioned
+			fh.part = p
+			fh.seqNo = seq
+			handles = append(handles, fh)
 		}
 		writeDur += time.Since(t2)
-		r, err := tsfile.Open(path)
-		if err != nil {
-			e.fs.Remove(path)
-			fail(fmt.Errorf("engine: flush reopen %s: %w", path, err))
-			return
-		}
-		handles = append(handles, newFileHandle(path, r, part.unseq))
 	}
 	elapsed := time.Since(unit.started)
 
@@ -899,6 +1201,14 @@ func (e *Engine) drain(unit *flushUnit) {
 	e.encodeTotal += time.Duration(encodeNanos.Load())
 	e.writeTotal += writeDur
 	e.statsMu.Unlock()
+
+	// Leveled compaction rides the flush path: each published flush
+	// may tip a partition's L0 file count or a level's size bound over
+	// its threshold. Passes are bounded and serialized on compactMu,
+	// and never hold the engine lock while merging.
+	if e.partitioned {
+		e.maybeCompact()
+	}
 }
 
 // Flush forces the current working memtables to disk (synchronously).
@@ -1001,6 +1311,15 @@ func (e *Engine) Stats() Stats {
 		MemTablePoints: e.working.Points() + e.workingUn.Points(),
 		FlushWorkers:   e.pool.size,
 	}
+	if e.partitioned {
+		parts := map[int64]struct{}{}
+		for _, fh := range e.files {
+			if fh.partitioned {
+				parts[fh.part] = struct{}{}
+			}
+		}
+		s.PartitionsActive = len(parts)
+	}
 	if e.flushCount > 0 {
 		n := float64(e.flushCount)
 		s.AvgFlushMillis = float64(e.flushTotal.Microseconds()) / 1000 / n
@@ -1034,6 +1353,14 @@ func (e *Engine) Stats() Stats {
 	s.ChunksFromStats = e.chunksFromStats.Load()
 	s.ChunksDecoded = e.chunksDecoded.Load()
 	s.PointsSkipped = e.pointsSkipped.Load()
+	s.BytesRead = e.bytesRead.Load()
+	s.BlocksDecoded = e.blocksDecoded.Load()
+	s.BlocksSkipped = e.blocksSkipped.Load()
+	s.BlocksFromStats = e.blocksFromStats.Load()
+	s.CompactionPasses = e.compactionPasses.Load()
+	s.CompactionBytesRead = e.compactionBytesRead.Load()
+	s.MaxCompactionPassBytes = e.maxCompactionPass.Load()
+	s.PartitionsDropped = e.partitionsDropped.Load()
 	e.statsMu.Lock()
 	s.QuarantinedFiles = e.quarantined
 	s.RecoveredWALBatches = e.recoveredBatches

@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/tsfile"
+	"repro/internal/winagg"
+)
+
+// TestBlockIndexMatchesLegacyOracle ingests identical workloads —
+// random delay scenarios plus cross-generation overwrites of
+// already-flushed ranges — into a v3 engine with small blocks and a
+// legacy-v2 engine, and requires bit-identical answers from Query and
+// AggregateWindows while the v3 engine demonstrably exercises its
+// block index.
+func TestBlockIndexMatchesLegacyOracle(t *testing.T) {
+	dists := []delay.Distribution{
+		delay.Constant{C: 0}, // fully in order: maximal block pruning
+		delay.DiscreteUniform{K: 8},
+		delay.LogNormal{Mu: 1, Sigma: 1},
+	}
+	for di, dist := range dists {
+		dist := dist
+		t.Run(dist.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4200 + di)))
+			v3 := openTest(t, Config{MemTableSize: 256, BlockPoints: 32})
+			v2 := openTest(t, Config{MemTableSize: 256, BlockPoints: -1})
+			const n = 3000
+			insert := func(ts int64, v float64) {
+				t.Helper()
+				if err := v3.Insert("s", ts, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := v2.Insert("s", ts, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				ts := int64(i) - int64(dist.Sample(rng))
+				insert(ts, float64(ts%173)+0.5)
+			}
+			// Cross-generation overwrites: newer files rewriting slices
+			// of old ranges must win in both layouts, and must also
+			// disqualify the shadowed older blocks from stats answers.
+			for i := 0; i < 150; i++ {
+				insert(int64(rng.Intn(n/2)), -2000-float64(i))
+			}
+			v3.Flush()
+			v2.Flush()
+
+			check := func(lo, hi int64) {
+				t.Helper()
+				got, err := v3.Query("s", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := v2.Query("s", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("[%d,%d]: v3 %d points, v2 %d points", lo, hi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("[%d,%d] record %d: v3 %+v, v2 %+v", lo, hi, i, got[i], want[i])
+					}
+				}
+			}
+			check(-64, n+64)
+			for q := 0; q < 60; q++ {
+				lo := int64(rng.Intn(n)) - 32
+				check(lo, lo+int64(rng.Intn(200)))
+			}
+			for q := 0; q < 25; q++ {
+				startT := int64(rng.Intn(n)) - 16
+				endT := startT + int64(1+rng.Intn(n/2))
+				window := int64(1 + rng.Intn(250))
+				for op := winagg.Count; op <= winagg.Last; op++ {
+					got, err := v3.AggregateWindows("s", startT, endT, window, op)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := v2.AggregateWindows("s", startT, endT, window, op)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameWindows(got, want) {
+						t.Fatalf("%v [%d,%d) w=%d: v3 %v, v2 %v", op, startT, endT, window, got, want)
+					}
+				}
+			}
+			if st := v3.Stats(); st.BlocksDecoded+st.BlocksFromStats == 0 || st.BlocksSkipped == 0 {
+				t.Fatalf("v3 engine never exercised the block index: %+v", st)
+			}
+		})
+	}
+}
+
+// rewriteEngineFileAsV1 transcodes one of the engine's v2 chunk files
+// to the original statistics-free v1 index in place — the engine-level
+// analog of the tsfile package's back-compat fixture, built from the
+// documented on-disk layout so compat tests need no old binary.
+func rewriteEngineFileAsV1(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tail = 16 // 8-byte index offset + 8-byte magic
+	ftr := len(raw) - tail
+	if string(raw[ftr+8:]) != "GTSFEND2" {
+		t.Fatalf("fixture expects a v2 file, footer %q", raw[ftr+8:])
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(raw[ftr : ftr+8]))
+	br := bytes.NewReader(raw[indexOff:ftr])
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := binary.AppendUvarint(nil, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			t.Fatal(err)
+		}
+		off, _ := binary.ReadUvarint(br)
+		cnt, _ := binary.ReadUvarint(br)
+		minT, _ := binary.ReadVarint(br)
+		maxT, _ := binary.ReadVarint(br)
+		flags, err := br.ReadByte()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flags&1 != 0 {
+			if _, err := br.Seek(5*8, io.SeekCurrent); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v1 = binary.AppendUvarint(v1, nameLen)
+		v1 = append(v1, name...)
+		v1 = binary.AppendUvarint(v1, off)
+		v1 = binary.AppendUvarint(v1, cnt)
+		v1 = binary.AppendVarint(v1, minT)
+		v1 = binary.AppendVarint(v1, maxT)
+	}
+	out := append([]byte(nil), raw[:indexOff]...)
+	out = append(out, v1...)
+	var foot [8]byte
+	binary.LittleEndian.PutUint64(foot[:], uint64(indexOff))
+	out = append(out, foot[:]...)
+	out = append(out, "GTSFEND1"...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackwardCompatUpgradeToV3 is the version matrix: a store holding
+// v1 and v2 files opens and queries correctly under the v3-default
+// configuration, the first compaction rewrites everything into a v3
+// file, and answers are unchanged before, after, and across a reopen.
+func TestBackwardCompatUpgradeToV3(t *testing.T) {
+	dir := t.TempDir()
+	const n = 400
+	e1, err := Open(Config{Dir: dir, MemTableSize: 100, SyncFlush: true, BlockPoints: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := e1.Insert("s", int64(i), float64(i)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gtsf"))
+	if len(files) < 2 {
+		t.Fatalf("fixture needs several v2 files, got %v", files)
+	}
+	sort.Strings(files)
+	rewriteEngineFileAsV1(t, files[0])
+
+	e2, err := Open(Config{Dir: dir, MemTableSize: 100, SyncFlush: true, BlockPoints: 64})
+	if err != nil {
+		t.Fatalf("mixed v1/v2 store rejected: %v", err)
+	}
+	defer e2.Close()
+	verify := func(e *Engine) {
+		t.Helper()
+		out, err := e.Query("s", -1, n+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != n {
+			t.Fatalf("%d of %d points", len(out), n)
+		}
+		for i, tv := range out {
+			if tv.T != int64(i) || tv.V != float64(i)*0.5 {
+				t.Fatalf("record %d corrupted: %+v", i, tv)
+			}
+		}
+	}
+	verify(e2)
+	if err := e2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verify(e2)
+	files, _ = filepath.Glob(filepath.Join(dir, "*.gtsf"))
+	if len(files) != 1 {
+		t.Fatalf("files after upgrade compaction: %v", files)
+	}
+	r, err := tsfile.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Version(); v != 3 {
+		r.Close()
+		t.Fatalf("compaction produced a v%d file, want v3", v)
+	}
+	r.Close()
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e3, err := Open(Config{Dir: dir, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	verify(e3)
+}
+
+// TestCompactRewritesSingleLegacyFile pins the needsRewrite rule: one
+// file is normally a compaction no-op, but a single legacy file still
+// upgrades to v3 when blocks are enabled.
+func TestCompactRewritesSingleLegacyFile(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 100, SyncFlush: true, BlockPoints: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e1.Insert("s", int64(i), 1)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(Config{Dir: dir, SyncFlush: true, BlockPoints: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if err := e2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gtsf"))
+	if len(files) != 1 {
+		t.Fatalf("files = %v", files)
+	}
+	r, err := tsfile.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v := r.Version(); v != 3 {
+		t.Fatalf("single legacy file not upgraded: v%d", v)
+	}
+}
+
+// TestTornV3FileQuarantined proves a torn v3 write (a crash mid-flush
+// leaving a truncated file at the servable name) is quarantined on
+// recovery instead of served or fatal.
+func TestTornV3FileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := Open(Config{Dir: dir, MemTableSize: 64, SyncFlush: true, BlockPoints: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		e1.Insert("s", int64(i), float64(i))
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gtsf"))
+	if len(files) != 1 {
+		t.Fatalf("fixture files = %v", files)
+	}
+	info, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[0], info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Config{Dir: dir, SyncFlush: true, BlockPoints: 16})
+	if err != nil {
+		t.Fatalf("open with torn v3 file: %v", err)
+	}
+	defer e2.Close()
+	if got := e2.Stats().QuarantinedFiles; got != 1 {
+		t.Fatalf("QuarantinedFiles = %d, want 1", got)
+	}
+	if e2.FileCount() != 0 {
+		t.Fatalf("torn file served: FileCount = %d", e2.FileCount())
+	}
+	if _, err := os.Stat(files[0] + ".quarantine"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+}
+
+// TestLeveledCompactionBoundsAndRecovery drives the partitioned leveled
+// layout end to end: automatic merges run, no single pass reads more
+// input than the deepest automatically-compacted level's size bound,
+// files live under p<epoch>/L<n>/, a full scan is intact, and the whole
+// structure round-trips a close/reopen.
+func TestLeveledCompactionBoundsAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir: dir, MemTableSize: 500, SyncFlush: true,
+		PartitionDuration: 5000, L0CompactFiles: 3,
+		LevelBaseBytes: 8 << 10, LevelGrowth: 4, MaxLevel: 2,
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000 // 4 partitions x 10 L0 flushes
+	for i := 0; i < n; i++ {
+		if err := e.Insert("s", int64(i), float64(i%389)+0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	e.WaitFlushes()
+
+	st := e.Stats()
+	if st.CompactionPasses == 0 {
+		t.Fatal("no automatic compaction passes ran")
+	}
+	// Automatic compaction reads from levels 0..MaxLevel-1, and a pass
+	// out of level l takes inputs up to that level's bound.
+	bound := cfg.LevelBaseBytes
+	for l := 1; l < cfg.MaxLevel; l++ {
+		bound *= int64(cfg.LevelGrowth)
+	}
+	if st.MaxCompactionPassBytes > bound {
+		t.Fatalf("largest pass read %d input bytes, above the %d-byte level bound", st.MaxCompactionPassBytes, bound)
+	}
+	if st.PartitionsActive != 4 {
+		t.Fatalf("PartitionsActive = %d, want 4", st.PartitionsActive)
+	}
+	if root, _ := filepath.Glob(filepath.Join(dir, "*.gtsf")); len(root) != 0 {
+		t.Fatalf("partitioned engine left files in the root: %v", root)
+	}
+	leveled, _ := filepath.Glob(filepath.Join(dir, "p*", "L*", "*.gtsf"))
+	if len(leveled) == 0 {
+		t.Fatal("no files under the p*/L*/ layout")
+	}
+	for p := 0; p < 4; p++ {
+		l0, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("p%d", p), "L0", "*.gtsf"))
+		if len(l0) >= cfg.L0CompactFiles {
+			t.Fatalf("partition %d retains %d L0 files, trigger is %d", p, len(l0), cfg.L0CompactFiles)
+		}
+	}
+	verify := func(e *Engine) {
+		t.Helper()
+		out, err := e.Query("s", 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != n {
+			t.Fatalf("full scan: %d of %d points", len(out), n)
+		}
+		for i, tv := range out {
+			if tv.T != int64(i) || tv.V != float64(i%389)+0.25 {
+				t.Fatalf("record %d corrupted: %+v", i, tv)
+			}
+		}
+	}
+	verify(e)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("partitioned recovery: %v", err)
+	}
+	defer e2.Close()
+	verify(e2)
+	if st := e2.Stats(); st.PartitionsActive != 4 {
+		t.Fatalf("PartitionsActive after reopen = %d, want 4", st.PartitionsActive)
+	}
+	// The recovered store keeps ingesting and compacting.
+	for i := n; i < n+1500; i++ {
+		if err := e2.Insert("s", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2.Flush()
+	e2.WaitFlushes()
+	out, err := e2.Query("s", n, n+1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1500 {
+		t.Fatalf("post-recovery ingest: %d of 1500 points", len(out))
+	}
+}
+
+// TestDropPartitionsBefore covers O(1) retention: whole expired
+// partitions unlink, the counters report it, queries stop seeing the
+// dropped range, and the drop survives a reopen. A non-partitioned
+// engine refuses the call.
+func TestDropPartitionsBefore(t *testing.T) {
+	flat := openTest(t, Config{})
+	if _, err := flat.DropPartitionsBefore(10); err == nil {
+		t.Fatal("flat-layout engine accepted DropPartitionsBefore")
+	}
+
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, MemTableSize: 200, SyncFlush: true, PartitionDuration: 1000}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000 // partitions 0..4
+	for i := 0; i < n; i++ {
+		if err := e.Insert("s", int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	e.WaitFlushes()
+
+	dropped, err := e.DropPartitionsBefore(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d partitions, want 2", dropped)
+	}
+	st := e.Stats()
+	if st.PartitionsDropped != 2 || st.PartitionsActive != 3 {
+		t.Fatalf("drop not visible in stats: dropped=%d active=%d", st.PartitionsDropped, st.PartitionsActive)
+	}
+	for _, p := range []string{"p0", "p1"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); !os.IsNotExist(err) {
+			t.Fatalf("partition dir %s survived the drop: %v", p, err)
+		}
+	}
+	gone, err := e.Query("s", 0, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gone) != 0 {
+		t.Fatalf("%d points served from dropped partitions", len(gone))
+	}
+	kept, err := e.Query("s", 2000, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != n-2000 {
+		t.Fatalf("kept %d points, want %d", len(kept), n-2000)
+	}
+	// Idempotent at the same cutoff.
+	if again, err := e.DropPartitionsBefore(2000); err != nil || again != 0 {
+		t.Fatalf("second drop: %d, %v", again, err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	gone, err = e2.Query("s", 0, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gone) != 0 {
+		t.Fatalf("dropped data resurrected across reopen: %d points", len(gone))
+	}
+	if st := e2.Stats(); st.PartitionsActive != 3 {
+		t.Fatalf("PartitionsActive after reopen = %d, want 3", st.PartitionsActive)
+	}
+}

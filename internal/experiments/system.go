@@ -115,6 +115,10 @@ func runSystemCell(spec SystemSpec, pct float64, algo string, sc Scale) (bench.R
 		// measure the paper's algorithm through the TVList interface
 		// path, not this repository's devirtualized kernel.
 		FlatSortThreshold: -1,
+		// Legacy v2 chunk layout: the reproduced write path stays
+		// byte-for-byte what the paper measured, not the block-indexed
+		// v3 format.
+		BlockPoints: -1,
 	}})
 	if err != nil {
 		return bench.Result{}, err

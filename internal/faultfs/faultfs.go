@@ -39,6 +39,9 @@ type File interface {
 type FS interface {
 	// Create opens path for writing, truncating any existing file.
 	Create(path string) (File, error)
+	// MkdirAll creates path and any missing parents (the engine's
+	// time-partition/level directories).
+	MkdirAll(path string) error
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
 	// Remove deletes path.
@@ -54,6 +57,7 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Create(path string) (File, error)     { return os.Create(path) }
+func (osFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(path string) error             { return os.Remove(path) }
 
@@ -86,6 +90,7 @@ const (
 	OpRename
 	OpRemove
 	OpSyncDir
+	OpMkdirAll
 )
 
 func (op Op) String() string {
@@ -102,6 +107,8 @@ func (op Op) String() string {
 		return "remove"
 	case OpSyncDir:
 		return "syncdir"
+	case OpMkdirAll:
+		return "mkdirall"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
@@ -181,6 +188,19 @@ func (i *Injector) Create(path string) (File, error) {
 		return nil, err
 	}
 	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) MkdirAll(path string) error {
+	proceed, err := i.step(OpMkdirAll)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		// Crash during mkdir: like rename, each directory either exists
+		// fully or not at all. Model "not at all".
+		return fmt.Errorf("%w (mkdirall %s)", ErrCrashed, path)
+	}
+	return i.under.MkdirAll(path)
 }
 
 func (i *Injector) Rename(oldpath, newpath string) error {
@@ -284,6 +304,13 @@ func (h *HookFS) Create(path string) (File, error) {
 		return nil, err
 	}
 	return &hookFile{fs: h, f: f}, nil
+}
+
+func (h *HookFS) MkdirAll(path string) error {
+	if err := h.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return h.Under.MkdirAll(path)
 }
 
 func (h *HookFS) Rename(oldpath, newpath string) error {

@@ -245,8 +245,9 @@ func (c *Client) ShardStats() ([]engine.Stats, error) {
 // from a single OpStats exchange. A legacy (version-1) stats payload
 // carries no per-shard extension (the breakdown is nil then), a
 // version-2 payload carries no durability extension (the durability
-// counters stay zero), and a version-3 payload carries no pruning
-// extension (the pruning counters stay zero).
+// counters stay zero), a version-3 payload carries no pruning
+// extension, and a version-4 payload carries no read-amplification
+// extension (the missing counters stay zero).
 func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	resp, err := c.callIdempotent(OpStats, nil)
 	if err != nil {
@@ -294,6 +295,17 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	}
 	for i := range per {
 		if err := p.pruning(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-4 payload: no read-amp extension
+	}
+	if err := p.readAmp(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.readAmp(&per[i]); err != nil {
 			return st, per, err
 		}
 	}

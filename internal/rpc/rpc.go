@@ -30,10 +30,17 @@
 //	    blocks: one pruning block (chunks answered from statistics,
 //	    chunks decoded, points that skipped decoding — all varints)
 //	    for the aggregate, then one per shard
+//	5 — OpStats appends a read-amplification/compaction extension after
+//	    the pruning blocks: one block (bytes read, blocks decoded,
+//	    blocks skipped, blocks answered from statistics, compaction
+//	    passes, compaction bytes read, max single-pass bytes,
+//	    partitions dropped, partitions active — all varints) for the
+//	    aggregate, then one per shard
 //
 // Extensions are strictly trailing, so a newer client reads an older
-// payload by what remains: the per-shard, durability and pruning
-// extensions are each detected by remaining payload bytes.
+// payload by what remains: the per-shard, durability, pruning and
+// read-amplification extensions are each detected by remaining payload
+// bytes.
 package rpc
 
 import (
@@ -60,7 +67,7 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // protocolMagic opens every handshake payload. Four printable bytes so
 // an accidental connection from an unrelated protocol is rejected with
@@ -313,4 +320,42 @@ func (p *payloadReader) pruning(st *engine.Stats) error {
 	}
 	st.PointsSkipped, err = p.varint()
 	return err
+}
+
+// appendReadAmp encodes the version-5 read-amplification and
+// compaction counters for one stats snapshot. The block trails the
+// pruning extension so older clients, which stop reading earlier, are
+// unaffected.
+func appendReadAmp(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, st.BytesRead)
+	b = binary.AppendVarint(b, st.BlocksDecoded)
+	b = binary.AppendVarint(b, st.BlocksSkipped)
+	b = binary.AppendVarint(b, st.BlocksFromStats)
+	b = binary.AppendVarint(b, st.CompactionPasses)
+	b = binary.AppendVarint(b, st.CompactionBytesRead)
+	b = binary.AppendVarint(b, st.MaxCompactionPassBytes)
+	b = binary.AppendVarint(b, st.PartitionsDropped)
+	b = binary.AppendVarint(b, int64(st.PartitionsActive))
+	return b
+}
+
+// readAmp decodes one read-amplification block into st (the inverse
+// of appendReadAmp).
+func (p *payloadReader) readAmp(st *engine.Stats) error {
+	for _, dst := range []*int64{
+		&st.BytesRead, &st.BlocksDecoded, &st.BlocksSkipped, &st.BlocksFromStats,
+		&st.CompactionPasses, &st.CompactionBytesRead, &st.MaxCompactionPassBytes,
+		&st.PartitionsDropped,
+	} {
+		var err error
+		if *dst, err = p.varint(); err != nil {
+			return err
+		}
+	}
+	v, err := p.varint()
+	if err != nil {
+		return err
+	}
+	st.PartitionsActive = int(v)
+	return nil
 }

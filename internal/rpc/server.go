@@ -224,7 +224,8 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		// version-2 per-shard extension (absent shards encode as 0, so
 		// clients against a bare engine see an empty breakdown), then
 		// the version-3 durability extension (aggregate block + one per
-		// shard), then the version-4 pruning extension in the same
+		// shard), then the version-4 pruning and version-5
+		// read-amplification extensions in the same
 		// aggregate-then-per-shard shape. Older clients stop reading
 		// before the extensions they do not know.
 		var resp []byte
@@ -243,12 +244,17 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendPruning(resp, shardStats)
 			}
+			resp = appendReadAmp(resp, merged)
+			for _, shardStats := range per {
+				resp = appendReadAmp(resp, shardStats)
+			}
 		} else {
 			st := s.eng.Stats()
 			resp = appendStats(nil, st)
 			resp = binary.AppendUvarint(resp, 0)
 			resp = appendDurability(resp, st)
 			resp = appendPruning(resp, st)
+			resp = appendReadAmp(resp, st)
 		}
 		return resp, nil
 

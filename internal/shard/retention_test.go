@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRouterDropPartitionsBefore fans the retention drop out across
+// shards: every shard unlinks its own expired partitions, the router
+// sums the counts, merged stats report the drop, and no sensor — on
+// any shard — still serves the dropped range.
+func TestRouterDropPartitionsBefore(t *testing.T) {
+	r, err := Open(Config{ShardCount: 3, Config: engine.Config{
+		Dir: t.TempDir(), SyncFlush: true, MemTableSize: 200,
+		PartitionDuration: 1000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// 8 sensors so every shard owns at least one; each sensor covers
+	// partitions 0..3.
+	sensors := make([]string, 8)
+	for i := range sensors {
+		sensors[i] = fmt.Sprintf("d%d.s0", i)
+	}
+	const n = 4000
+	for _, s := range sensors {
+		for ts := 0; ts < n; ts += 200 {
+			times := make([]int64, 200)
+			values := make([]float64, 200)
+			for j := range times {
+				times[j] = int64(ts + j)
+				values[j] = float64(ts + j)
+			}
+			if err := r.InsertBatch(s, times, values); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.WaitFlushes()
+
+	dropped, err := r.DropPartitionsBefore(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitions 0 and 1 vanish on each of the 3 shards.
+	if dropped != 6 {
+		t.Fatalf("dropped %d partitions across shards, want 6", dropped)
+	}
+	st := r.Stats()
+	if st.PartitionsDropped != int64(dropped) {
+		t.Fatalf("merged stats report %d dropped, want %d", st.PartitionsDropped, dropped)
+	}
+	if st.PartitionsActive != 6 { // 2 surviving partitions x 3 shards
+		t.Fatalf("merged PartitionsActive = %d, want 6", st.PartitionsActive)
+	}
+	for _, s := range sensors {
+		gone, err := r.Query(s, 0, 1999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gone) != 0 {
+			t.Fatalf("%s: %d points served from dropped partitions", s, len(gone))
+		}
+		kept, err := r.Query(s, 2000, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kept) != n-2000 {
+			t.Fatalf("%s: kept %d points, want %d", s, len(kept), n-2000)
+		}
+	}
+}

@@ -236,6 +236,34 @@ func (r *Router) Compact() error {
 	return r.fanOut((*engine.Engine).Compact)
 }
 
+// DropPartitionsBefore removes every time partition wholly before
+// cutoff on every shard (partitioned mode only), returning the total
+// number of partition directories dropped and the first error by
+// shard order.
+func (r *Router) DropPartitionsBefore(cutoff int64) (int, error) {
+	counts := make([]int, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, e := range r.shards {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			counts[i], errs[i] = e.DropPartitionsBefore(cutoff)
+		}(i, e)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	for _, err := range errs {
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // FlushError returns the first recorded background flush failure
 // across the shards, by shard order.
 func (r *Router) FlushError() error {
@@ -337,6 +365,17 @@ func MergeStats(per []engine.Stats) engine.Stats {
 		m.ChunksFromStats += s.ChunksFromStats
 		m.ChunksDecoded += s.ChunksDecoded
 		m.PointsSkipped += s.PointsSkipped
+		m.BytesRead += s.BytesRead
+		m.BlocksDecoded += s.BlocksDecoded
+		m.BlocksSkipped += s.BlocksSkipped
+		m.BlocksFromStats += s.BlocksFromStats
+		m.CompactionPasses += s.CompactionPasses
+		m.CompactionBytesRead += s.CompactionBytesRead
+		if s.MaxCompactionPassBytes > m.MaxCompactionPassBytes {
+			m.MaxCompactionPassBytes = s.MaxCompactionPassBytes
+		}
+		m.PartitionsDropped += s.PartitionsDropped
+		m.PartitionsActive += s.PartitionsActive
 
 		w := float64(s.FlushCount)
 		flushWeight += w

@@ -37,6 +37,41 @@ func fuzzSeed(tb testing.TB) []byte {
 	return raw
 }
 
+// fuzzSeedV3 builds a small valid v3 (blocked) file and returns its
+// raw bytes, so the fuzzer mutates block indexes too.
+func fuzzSeedV3(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed3.gtsf")
+	w, err := Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w.BlockPoints = 4
+	times := make([]int64, 20)
+	values := make([]float64, 20)
+	for i := range times {
+		times[i] = int64(i * 2)
+		values[i] = float64(i) + 0.5
+	}
+	if err := w.WriteChunk("s1", times, values); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteChunk("s2", times[:3], values[:3]); err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteTypedChunk(w, "i", []int64{5, 6}, []int64{100, 200}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
 // FuzzOpen feeds arbitrary bytes through the full read path: Open,
 // index iteration, ReadChunk, ReadTypedChunk, and QuerySensor. The
 // invariant under test is that hostile input produces an error (almost
@@ -55,6 +90,18 @@ func FuzzOpen(f *testing.F) {
 	}
 	f.Add(seed[:len(seed)/2])
 	f.Add([]byte{})
+	seed3 := fuzzSeedV3(f)
+	f.Add(seed3)
+	// Mutations targeting the v3 footer and block-index region.
+	for _, i := range []int{len(seed3) - 1, len(seed3) - 9, len(seed3) - 17,
+		len(seed3) - 24, len(seed3) - 32, len(seed3) / 2} {
+		if i >= 0 && i < len(seed3) {
+			mut := append([]byte(nil), seed3...)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add(seed3[:len(seed3)-int(tailLen)/2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

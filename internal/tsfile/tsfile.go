@@ -10,20 +10,34 @@
 //	magic "GTSF0001"
 //	chunk*   — per (sensor) chunk:
 //	             uvarint nameLen, name bytes
-//	             TS2Diff-encoded timestamps (encoding package)
-//	             Gorilla-encoded float64 values (encoding package)
-//	             uint32  CRC-32 (IEEE) of the chunk payload
+//	             v1/v2 body: TS2Diff-encoded timestamps (encoding
+//	               package), Gorilla-encoded float64 values, uint32
+//	               CRC-32 (IEEE) of the chunk payload
+//	             v3 body: block*, where each block is an independently
+//	               decodable [TS2Diff timestamps | Gorilla values |
+//	               uint32 CRC-32 of the block] unit covering a bounded
+//	               point range
 //	index    — uvarint entryCount, then per chunk:
 //	             uvarint nameLen, name, uvarint offset, uvarint count,
 //	             varint minTime, varint maxTime,
 //	             byte flags, [5 × float64 value statistics when flags&1]
-//	footer   — 8-byte little-endian index offset, magic "GTSFEND2"
+//	             v3 only: uvarint blockCount, then per block:
+//	               uvarint offsetDelta (from the chunk offset),
+//	               uvarint size, uvarint count, varint minTime,
+//	               varint maxTime, byte flags, [5 × float64 statistics
+//	               when flags&1]
+//	footer   — 8-byte little-endian index offset, magic "GTSFEND3"
 //
 // The footer magic doubles as the index format version: files ending
 // in "GTSFEND1" carry the original statistics-free index (entries stop
-// after maxTime) and remain fully readable — their chunks simply have
-// no value statistics, so aggregation pushdown never answers from them
-// and always decodes. New files are always written in the v2 format.
+// after maxTime), files ending in "GTSFEND2" carry per-chunk value
+// statistics but no block index, and both remain fully readable. The
+// v3 block index is what lets narrow-range reads seek to just the
+// blocks overlapping their time window instead of decoding whole
+// chunks, and per-block statistics extend aggregation pushdown from
+// chunk granularity to block granularity. A Writer emits the v3
+// layout when BlockPoints > 0 and the exact legacy v2 bytes
+// otherwise, so the paper-reproduction write path is unchanged.
 //
 // Sorted regular timestamps compress to ~1–2 bytes each under TS2Diff
 // (IoTDB's TS_2DIFF family) and slowly varying values to a few bits
@@ -48,6 +62,7 @@ const (
 	magicHead   = "GTSF0001"
 	magicTailV1 = "GTSFEND1" // statistics-free index entries
 	magicTailV2 = "GTSFEND2" // entries carry a flags byte + value statistics
+	magicTailV3 = "GTSFEND3" // entries additionally carry a per-block index
 )
 
 // tailLen is the footer size: 8-byte index offset + 8-byte magic,
@@ -62,11 +77,11 @@ var ErrCorrupt = errors.New("tsfile: corrupt file")
 // that identifies typed chunks.
 const maxSensorName = 120
 
-// ValueStats summarizes a chunk's value column, written into the v2
-// index at flush/compaction time so windowed aggregations can answer
-// from metadata without decoding the chunk (count lives in
-// ChunkMeta.Count). First and Last are the values at the chunk's
-// earliest and latest timestamps.
+// ValueStats summarizes a value column, written into the v2+ index at
+// flush/compaction time so windowed aggregations can answer from
+// metadata without decoding (count lives in ChunkMeta.Count /
+// BlockMeta.Count). First and Last are the values at the earliest and
+// latest timestamps.
 type ValueStats struct {
 	Min   float64
 	Max   float64
@@ -75,18 +90,37 @@ type ValueStats struct {
 	Last  float64
 }
 
-// ChunkMeta describes one chunk in a file's index. Stats is nil when
-// the chunk carries no value statistics: v1 files, typed chunks whose
-// column has no float statistics, and chunks containing duplicate
-// timestamps (whose statistics would disagree with the deduplicated
-// stream queries return).
-type ChunkMeta struct {
-	Sensor  string
+// BlockMeta describes one block of a v3 chunk: an independently
+// CRC'd, independently decodable run of the chunk's points covering
+// [MinTime, MaxTime]. Offset is absolute in the file; Size includes
+// the block's trailing CRC. Stats is nil when the block contains
+// duplicate timestamps (statistics over the raw points would disagree
+// with the deduplicated stream queries return).
+type BlockMeta struct {
 	Offset  int64
+	Size    int64
 	Count   int
 	MinTime int64
 	MaxTime int64
 	Stats   *ValueStats
+}
+
+// ChunkMeta describes one chunk in a file's index. Stats is nil when
+// the chunk carries no value statistics: v1 files, typed chunks whose
+// column has no float statistics, and chunks containing duplicate
+// timestamps. Size is the chunk's byte extent in the file (derived
+// from the neighboring index entries at load time, not stored).
+// Blocks is non-nil only for v3 blocked chunks, in nondecreasing time
+// order; their point counts sum to Count.
+type ChunkMeta struct {
+	Sensor  string
+	Offset  int64
+	Size    int64
+	Count   int
+	MinTime int64
+	MaxTime int64
+	Stats   *ValueStats
+	Blocks  []BlockMeta
 }
 
 // Writer writes a tsfile. Chunks append sequentially; Close writes
@@ -98,6 +132,13 @@ type Writer struct {
 	index   []ChunkMeta
 	lastMax map[string]int64 // per-sensor max time of the last appended chunk
 	closed  bool
+	cur     *streamChunk // in-progress BeginChunk/AppendBlock chunk
+	// BlockPoints, when > 0, selects the v3 blocked layout: plain
+	// chunks are split into independently encoded and CRC'd blocks of
+	// at most ~BlockPoints points each, and the index carries per-block
+	// entries. Zero or negative keeps the exact legacy v2 layout. Set
+	// it before the first write and do not change it afterwards.
+	BlockPoints int
 	// SyncOnClose forces an fsync in Close. The storage engine leaves
 	// it off unless a WAL sync policy is active — like IoTDB's default
 	// flush, durability is the OS page cache's problem, and a per-file
@@ -129,9 +170,10 @@ func CreateFS(fs faultfs.FS, path string) (*Writer, error) {
 
 // WriteChunk appends one chunk. times must be nondecreasing — the
 // invariant sorting establishes before flush — and len(times) must
-// equal len(values) and be > 0.
+// equal len(values) and be > 0. Under BlockPoints > 0 the chunk is
+// split into blocks transparently.
 func (w *Writer) WriteChunk(sensor string, times []int64, values []float64) error {
-	enc, err := EncodeChunk(sensor, times, values)
+	enc, err := EncodeChunkBlocks(sensor, times, values, w.BlockPoints)
 	if err != nil {
 		return err
 	}
@@ -141,36 +183,28 @@ func (w *Writer) WriteChunk(sensor string, times []int64, values []float64) erro
 // EncodedChunk is a chunk encoded away from the Writer — validation,
 // column encoding and the CRC all happen here, so several chunks can
 // be prepared concurrently on different goroutines and then appended
-// to the file sequentially in a chosen order. Meta.Offset is filled in
-// by AppendEncoded.
+// to the file sequentially in a chosen order. Meta.Offset (and the
+// block offsets, for blocked chunks) are filled in by AppendEncoded.
 type EncodedChunk struct {
 	Meta    ChunkMeta
 	payload []byte
-	crc     uint32
+	crc     uint32 // unblocked chunks only; blocked payloads carry per-block CRCs
+	blocked bool
 }
 
-// EncodeChunk validates and encodes one chunk without touching any
-// Writer. It is safe to call from multiple goroutines.
+// EncodeChunk validates and encodes one chunk in the legacy
+// single-unit layout, without touching any Writer. It is safe to call
+// from multiple goroutines.
 func EncodeChunk(sensor string, times []int64, values []float64) (*EncodedChunk, error) {
-	if len(times) == 0 || len(times) != len(values) {
-		return nil, fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
-	}
-	if len(sensor) > maxSensorName {
-		return nil, fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
-	}
-	dup := false
-	for i := 1; i < len(times); i++ {
-		if times[i] < times[i-1] {
-			return nil, fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
-		}
-		if times[i] == times[i-1] {
-			dup = true
-		}
+	dup, err := validateChunk(sensor, times, values)
+	if err != nil {
+		return nil, err
 	}
 	payload := encodeChunk(sensor, times, values)
 	return &EncodedChunk{
 		Meta: ChunkMeta{
 			Sensor:  sensor,
+			Size:    int64(len(payload)) + 4,
 			Count:   len(times),
 			MinTime: times[0],
 			MaxTime: times[len(times)-1],
@@ -181,7 +215,93 @@ func EncodeChunk(sensor string, times []int64, values []float64) (*EncodedChunk,
 	}, nil
 }
 
-// computeStats summarizes a sorted chunk's value column. A chunk with
+// EncodeChunkBlocks validates and encodes one chunk, splitting it into
+// independently decodable blocks of at most ~blockPoints points each
+// (a block never splits a run of equal timestamps, so it may run a few
+// points long). blockPoints <= 0 falls back to the legacy single-unit
+// encoding. Safe to call from multiple goroutines.
+func EncodeChunkBlocks(sensor string, times []int64, values []float64, blockPoints int) (*EncodedChunk, error) {
+	if blockPoints <= 0 {
+		return EncodeChunk(sensor, times, values)
+	}
+	dup, err := validateChunk(sensor, times, values)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 0, len(sensor)+16+len(times)*3+len(values)*8)
+	payload = binary.AppendUvarint(payload, uint64(len(sensor)))
+	payload = append(payload, sensor...)
+	var blocks []BlockMeta
+	for start := 0; start < len(times); {
+		end := start + blockPoints
+		if end >= len(times) {
+			end = len(times)
+		} else {
+			// Never split a run of equal timestamps across blocks: the
+			// run must dedup within one decode unit.
+			for end < len(times) && times[end] == times[end-1] {
+				end++
+			}
+		}
+		bt, bv := times[start:end], values[start:end]
+		bdup := false
+		for i := 1; i < len(bt); i++ {
+			if bt[i] == bt[i-1] {
+				bdup = true
+				break
+			}
+		}
+		blockStart := len(payload)
+		payload = encoding.AppendTS2Diff(payload, bt)
+		payload = encoding.AppendGorilla(payload, bv)
+		sum := crc32.ChecksumIEEE(payload[blockStart:])
+		payload = binary.LittleEndian.AppendUint32(payload, sum)
+		blocks = append(blocks, BlockMeta{
+			Offset:  int64(blockStart), // relative until AppendEncoded rebases
+			Size:    int64(len(payload) - blockStart),
+			Count:   len(bt),
+			MinTime: bt[0],
+			MaxTime: bt[len(bt)-1],
+			Stats:   computeStats(bv, bdup),
+		})
+		start = end
+	}
+	return &EncodedChunk{
+		Meta: ChunkMeta{
+			Sensor:  sensor,
+			Size:    int64(len(payload)),
+			Count:   len(times),
+			MinTime: times[0],
+			MaxTime: times[len(times)-1],
+			Stats:   computeStats(values, dup),
+			Blocks:  blocks,
+		},
+		payload: payload,
+		blocked: true,
+	}, nil
+}
+
+// validateChunk checks the shared chunk invariants and reports whether
+// the timestamps contain duplicates.
+func validateChunk(sensor string, times []int64, values []float64) (dup bool, err error) {
+	if len(times) == 0 || len(times) != len(values) {
+		return false, fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
+	}
+	if len(sensor) > maxSensorName {
+		return false, fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return false, fmt.Errorf("tsfile: chunk for %q not sorted at %d", sensor, i)
+		}
+		if times[i] == times[i-1] {
+			dup = true
+		}
+	}
+	return dup, nil
+}
+
+// computeStats summarizes a sorted column's values. A column with
 // duplicate timestamps gets no statistics: queries deduplicate equal
 // timestamps, so stats over the raw points would overcount.
 func computeStats(values []float64, hasDupTimes bool) *ValueStats {
@@ -204,12 +324,19 @@ func computeStats(values []float64, hasDupTimes bool) *ValueStats {
 	return s
 }
 
-// AppendEncoded appends a chunk prepared by EncodeChunk. Like the rest
-// of Writer it is not safe for concurrent use — parallel encoders must
-// funnel their results through one appender.
+// AppendEncoded appends a chunk prepared by EncodeChunk or
+// EncodeChunkBlocks. Like the rest of Writer it is not safe for
+// concurrent use — parallel encoders must funnel their results through
+// one appender.
 func (w *Writer) AppendEncoded(enc *EncodedChunk) error {
 	if w.closed {
 		return errors.New("tsfile: write after Close")
+	}
+	if w.cur != nil {
+		return errors.New("tsfile: AppendEncoded during an open streaming chunk")
+	}
+	if enc.blocked && w.BlockPoints <= 0 {
+		return errors.New("tsfile: blocked chunk on a legacy-format writer")
 	}
 	meta := enc.Meta
 	// Same-sensor chunks must land in nondecreasing time order:
@@ -221,15 +348,159 @@ func (w *Writer) AppendEncoded(enc *EncodedChunk) error {
 	}
 	w.lastMax[meta.Sensor] = meta.MaxTime
 	meta.Offset = w.off
+	if enc.blocked {
+		// Rebase the block offsets (relative to the payload start) to
+		// absolute file offsets, on a copy — the EncodedChunk may be
+		// retained by its producer.
+		blocks := make([]BlockMeta, len(meta.Blocks))
+		copy(blocks, meta.Blocks)
+		for i := range blocks {
+			blocks[i].Offset += w.off
+		}
+		meta.Blocks = blocks
+	}
 	if _, err := w.w.Write(enc.payload); err != nil {
 		return err
 	}
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], enc.crc)
-	if _, err := w.w.Write(crcBuf[:]); err != nil {
+	w.off += int64(len(enc.payload))
+	if !enc.blocked {
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], enc.crc)
+		if _, err := w.w.Write(crcBuf[:]); err != nil {
+			return err
+		}
+		w.off += 4
+	}
+	meta.Size = w.off - meta.Offset
+	w.index = append(w.index, meta)
+	return nil
+}
+
+// streamChunk is the state of an in-progress streaming chunk.
+type streamChunk struct {
+	sensor string
+	off    int64 // chunk start (the name-length byte)
+	blocks []BlockMeta
+	count  int
+	stats  *ValueStats
+	noStat bool // a block lacked stats, or a dup straddled a boundary
+}
+
+// BeginChunk starts a streaming chunk for sensor: blocks are appended
+// one at a time with AppendBlock and the index entry is completed by
+// EndChunk, so a compaction can write an arbitrarily large chunk while
+// holding only one block of points in memory. Requires the v3 layout
+// (BlockPoints > 0).
+func (w *Writer) BeginChunk(sensor string) error {
+	if w.closed {
+		return errors.New("tsfile: write after Close")
+	}
+	if w.BlockPoints <= 0 {
+		return errors.New("tsfile: BeginChunk requires the v3 blocked layout (BlockPoints > 0)")
+	}
+	if w.cur != nil {
+		return fmt.Errorf("tsfile: BeginChunk(%q) with chunk for %q still open", sensor, w.cur.sensor)
+	}
+	if len(sensor) > maxSensorName {
+		return fmt.Errorf("tsfile: sensor name too long (%d bytes)", len(sensor))
+	}
+	hdr := binary.AppendUvarint(nil, uint64(len(sensor)))
+	hdr = append(hdr, sensor...)
+	if _, err := w.w.Write(hdr); err != nil {
 		return err
 	}
-	w.off += int64(len(enc.payload)) + 4
+	w.cur = &streamChunk{sensor: sensor, off: w.off}
+	w.off += int64(len(hdr))
+	return nil
+}
+
+// AppendBlock appends one block to the streaming chunk. times must be
+// nondecreasing, start at or after the previous block's max time, and
+// (across chunks of the same sensor) respect the file's nondecreasing
+// chunk order.
+func (w *Writer) AppendBlock(times []int64, values []float64) error {
+	c := w.cur
+	if c == nil {
+		return errors.New("tsfile: AppendBlock without BeginChunk")
+	}
+	dup, err := validateChunk(c.sensor, times, values)
+	if err != nil {
+		return err
+	}
+	if len(c.blocks) == 0 {
+		if last, ok := w.lastMax[c.sensor]; ok && times[0] < last {
+			return fmt.Errorf("tsfile: chunk for %q out of time order: min %d after previous max %d",
+				c.sensor, times[0], last)
+		}
+	} else if prev := c.blocks[len(c.blocks)-1]; times[0] < prev.MaxTime {
+		return fmt.Errorf("tsfile: block for %q out of time order: min %d after previous max %d",
+			c.sensor, times[0], prev.MaxTime)
+	} else if times[0] == prev.MaxTime {
+		// A duplicate run straddles the block boundary: the per-chunk
+		// statistics would overcount after dedup.
+		c.noStat = true
+	}
+	payload := encoding.AppendTS2Diff(nil, times)
+	payload = encoding.AppendGorilla(payload, values)
+	sum := crc32.ChecksumIEEE(payload)
+	payload = binary.LittleEndian.AppendUint32(payload, sum)
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	bs := computeStats(values, dup)
+	c.blocks = append(c.blocks, BlockMeta{
+		Offset:  w.off,
+		Size:    int64(len(payload)),
+		Count:   len(times),
+		MinTime: times[0],
+		MaxTime: times[len(times)-1],
+		Stats:   bs,
+	})
+	w.off += int64(len(payload))
+	c.count += len(times)
+	if bs == nil {
+		c.noStat = true
+	} else if c.stats == nil {
+		s := *bs
+		c.stats = &s
+	} else {
+		if bs.Min < c.stats.Min {
+			c.stats.Min = bs.Min
+		}
+		if bs.Max > c.stats.Max {
+			c.stats.Max = bs.Max
+		}
+		c.stats.Sum += bs.Sum
+		c.stats.Last = bs.Last
+	}
+	return nil
+}
+
+// EndChunk completes the streaming chunk and records its index entry.
+func (w *Writer) EndChunk() error {
+	c := w.cur
+	if c == nil {
+		return errors.New("tsfile: EndChunk without BeginChunk")
+	}
+	if len(c.blocks) == 0 {
+		return fmt.Errorf("tsfile: empty streaming chunk for %q", c.sensor)
+	}
+	w.cur = nil
+	stats := c.stats
+	if c.noStat {
+		stats = nil
+	}
+	meta := ChunkMeta{
+		Sensor:  c.sensor,
+		Offset:  c.off,
+		Size:    w.off - c.off,
+		Count:   c.count,
+		MinTime: c.blocks[0].MinTime,
+		MaxTime: c.blocks[len(c.blocks)-1].MaxTime,
+		Stats:   stats,
+		Blocks:  c.blocks,
+	}
+	w.lastMax[meta.Sensor] = meta.MaxTime
 	w.index = append(w.index, meta)
 	return nil
 }
@@ -243,12 +514,28 @@ func encodeChunk(sensor string, times []int64, values []float64) []byte {
 	return buf
 }
 
+// appendStatsEntry serializes the flags byte + optional statistics.
+func appendStatsEntry(idx []byte, s *ValueStats) []byte {
+	if s == nil {
+		return append(idx, 0)
+	}
+	idx = append(idx, 1)
+	for _, v := range [5]float64{s.Min, s.Max, s.Sum, s.First, s.Last} {
+		idx = binary.LittleEndian.AppendUint64(idx, math.Float64bits(v))
+	}
+	return idx
+}
+
 // Close writes the index and footer and syncs the file.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
+	if w.cur != nil {
+		return fmt.Errorf("tsfile: Close with streaming chunk for %q still open", w.cur.sensor)
+	}
 	w.closed = true
+	v3 := w.BlockPoints > 0
 	indexOff := w.off
 	idx := make([]byte, 0, 64*len(w.index))
 	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
@@ -259,12 +546,16 @@ func (w *Writer) Close() error {
 		idx = binary.AppendUvarint(idx, uint64(m.Count))
 		idx = binary.AppendVarint(idx, m.MinTime)
 		idx = binary.AppendVarint(idx, m.MaxTime)
-		if m.Stats == nil {
-			idx = append(idx, 0)
-		} else {
-			idx = append(idx, 1)
-			for _, v := range [5]float64{m.Stats.Min, m.Stats.Max, m.Stats.Sum, m.Stats.First, m.Stats.Last} {
-				idx = binary.LittleEndian.AppendUint64(idx, math.Float64bits(v))
+		idx = appendStatsEntry(idx, m.Stats)
+		if v3 {
+			idx = binary.AppendUvarint(idx, uint64(len(m.Blocks)))
+			for _, b := range m.Blocks {
+				idx = binary.AppendUvarint(idx, uint64(b.Offset-m.Offset))
+				idx = binary.AppendUvarint(idx, uint64(b.Size))
+				idx = binary.AppendUvarint(idx, uint64(b.Count))
+				idx = binary.AppendVarint(idx, b.MinTime)
+				idx = binary.AppendVarint(idx, b.MaxTime)
+				idx = appendStatsEntry(idx, b.Stats)
 			}
 		}
 	}
@@ -276,7 +567,11 @@ func (w *Writer) Close() error {
 	if _, err := w.w.Write(foot[:]); err != nil {
 		return err
 	}
-	if _, err := w.w.WriteString(magicTailV2); err != nil {
+	tail := magicTailV2
+	if v3 {
+		tail = magicTailV3
+	}
+	if _, err := w.w.WriteString(tail); err != nil {
 		return err
 	}
 	if err := w.w.Flush(); err != nil {
@@ -303,6 +598,7 @@ type Reader struct {
 	f       *os.File
 	index   []ChunkMeta
 	dataEnd int64 // index offset: first byte past the chunk region
+	version int   // index format version: 1, 2 or 3
 }
 
 // Open opens a tsfile and loads its index.
@@ -317,6 +613,31 @@ func Open(path string) (*Reader, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// Version reports the file's index format version (1, 2 or 3).
+func (r *Reader) Version() int { return r.version }
+
+// readStatsEntry parses a flags byte + optional statistics.
+func readStatsEntry(br *sliceReader) (*ValueStats, error) {
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&1 == 0 {
+		return nil, nil
+	}
+	raw, err := br.take(5 * 8)
+	if err != nil {
+		return nil, err
+	}
+	return &ValueStats{
+		Min:   math.Float64frombits(binary.LittleEndian.Uint64(raw[0:])),
+		Max:   math.Float64frombits(binary.LittleEndian.Uint64(raw[8:])),
+		Sum:   math.Float64frombits(binary.LittleEndian.Uint64(raw[16:])),
+		First: math.Float64frombits(binary.LittleEndian.Uint64(raw[24:])),
+		Last:  math.Float64frombits(binary.LittleEndian.Uint64(raw[32:])),
+	}, nil
 }
 
 func (r *Reader) loadIndex() error {
@@ -338,12 +659,13 @@ func (r *Reader) loadIndex() error {
 	if _, err := r.f.ReadAt(tail, st.Size()-tailLen); err != nil {
 		return err
 	}
-	var hasStats bool
 	switch string(tail[8:]) {
 	case magicTailV1:
-		hasStats = false
+		r.version = 1
 	case magicTailV2:
-		hasStats = true
+		r.version = 2
+	case magicTailV3:
+		r.version = 3
 	default:
 		return fmt.Errorf("%w: bad tail magic %q", ErrCorrupt, tail[8:])
 	}
@@ -365,6 +687,7 @@ func (r *Reader) loadIndex() error {
 	// corrupt or hostile index can neither panic the reader nor make
 	// ReadChunk size a buffer from a fabricated Count.
 	lastMax := make(map[string]int64)
+	prevOffset := int64(0)
 	for i := uint64(0); i < count; i++ {
 		var m ChunkMeta
 		nameLen, err := binary.ReadUvarint(br)
@@ -388,6 +711,14 @@ func (r *Reader) loadIndex() error {
 			return fmt.Errorf("%w: index entry %d: offset %d outside chunk region [%d, %d)",
 				ErrCorrupt, i, m.Offset, len(magicHead), indexOff)
 		}
+		// Entries appear in file order: the writer appends chunks
+		// sequentially, so offsets strictly ascend. This is also what
+		// lets each chunk's byte extent be derived from its neighbor.
+		if m.Offset <= prevOffset && i > 0 {
+			return fmt.Errorf("%w: index entry %d: offset %d not ascending (previous %d)",
+				ErrCorrupt, i, m.Offset, prevOffset)
+		}
+		prevOffset = m.Offset
 		cnt, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("%w: index entry %d count: %v", ErrCorrupt, i, err)
@@ -416,27 +747,108 @@ func (r *Reader) loadIndex() error {
 				ErrCorrupt, i, m.Sensor, m.MinTime, last)
 		}
 		lastMax[m.Sensor] = m.MaxTime
-		if hasStats {
-			flags, err := br.ReadByte()
-			if err != nil {
-				return fmt.Errorf("%w: index entry %d flags: %v", ErrCorrupt, i, err)
+		if r.version >= 2 {
+			if m.Stats, err = readStatsEntry(br); err != nil {
+				return fmt.Errorf("%w: index entry %d stats: %v", ErrCorrupt, i, err)
 			}
-			if flags&1 != 0 {
-				raw, err := br.take(5 * 8)
-				if err != nil {
-					return fmt.Errorf("%w: index entry %d stats: %v", ErrCorrupt, i, err)
-				}
-				m.Stats = &ValueStats{
-					Min:   math.Float64frombits(binary.LittleEndian.Uint64(raw[0:])),
-					Max:   math.Float64frombits(binary.LittleEndian.Uint64(raw[8:])),
-					Sum:   math.Float64frombits(binary.LittleEndian.Uint64(raw[16:])),
-					First: math.Float64frombits(binary.LittleEndian.Uint64(raw[24:])),
-					Last:  math.Float64frombits(binary.LittleEndian.Uint64(raw[32:])),
-				}
+		}
+		if r.version >= 3 {
+			if err := r.loadBlockIndex(br, &m, i, indexOff); err != nil {
+				return err
 			}
 		}
 		r.index = append(r.index, m)
 	}
+	// Offsets ascend, so each chunk's extent ends where the next chunk
+	// (or the index) starts.
+	for i := range r.index {
+		end := indexOff
+		if i+1 < len(r.index) {
+			end = r.index[i+1].Offset
+		}
+		r.index[i].Size = end - r.index[i].Offset
+		if bs := r.index[i].Blocks; len(bs) > 0 {
+			if last := &bs[len(bs)-1]; last.Offset+last.Size > end {
+				return fmt.Errorf("%w: index entry %d: block region past chunk end %d", ErrCorrupt, i, end)
+			}
+		}
+	}
+	return nil
+}
+
+// loadBlockIndex parses and validates one v3 entry's block list.
+func (r *Reader) loadBlockIndex(br *sliceReader, m *ChunkMeta, i uint64, indexOff int64) error {
+	blockCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: index entry %d block count: %v", ErrCorrupt, i, err)
+	}
+	if blockCount == 0 {
+		return nil // unblocked entry (typed chunks)
+	}
+	// Every block holds at least one point.
+	if blockCount > uint64(m.Count) {
+		return fmt.Errorf("%w: index entry %d: %d blocks for %d points", ErrCorrupt, i, blockCount, m.Count)
+	}
+	blocks := make([]BlockMeta, 0, blockCount)
+	sum := 0
+	prevEnd := m.Offset
+	for j := uint64(0); j < blockCount; j++ {
+		var b BlockMeta
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d block %d offset: %v", ErrCorrupt, i, j, err)
+		}
+		b.Offset = m.Offset + int64(delta)
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d block %d size: %v", ErrCorrupt, i, j, err)
+		}
+		b.Size = int64(size)
+		// A block needs the 4-byte CRC plus at least one payload byte,
+		// must start after its chunk's name header (and past the
+		// previous block), and must end inside the chunk region.
+		if b.Size < 5 || b.Offset <= m.Offset || b.Offset < prevEnd ||
+			b.Offset > indexOff || b.Size > indexOff-b.Offset {
+			return fmt.Errorf("%w: index entry %d block %d: bad extent [%d, +%d)",
+				ErrCorrupt, i, j, b.Offset, b.Size)
+		}
+		prevEnd = b.Offset + b.Size
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: index entry %d block %d count: %v", ErrCorrupt, i, j, err)
+		}
+		if cnt == 0 || cnt > 8*uint64(b.Size) {
+			return fmt.Errorf("%w: index entry %d block %d: count %d impossible for %d bytes",
+				ErrCorrupt, i, j, cnt, b.Size)
+		}
+		b.Count = int(cnt)
+		if b.MinTime, err = binary.ReadVarint(br); err != nil {
+			return fmt.Errorf("%w: index entry %d block %d mintime: %v", ErrCorrupt, i, j, err)
+		}
+		if b.MaxTime, err = binary.ReadVarint(br); err != nil {
+			return fmt.Errorf("%w: index entry %d block %d maxtime: %v", ErrCorrupt, i, j, err)
+		}
+		if b.MinTime > b.MaxTime || b.MinTime < m.MinTime || b.MaxTime > m.MaxTime {
+			return fmt.Errorf("%w: index entry %d block %d: time range [%d, %d] outside chunk [%d, %d]",
+				ErrCorrupt, i, j, b.MinTime, b.MaxTime, m.MinTime, m.MaxTime)
+		}
+		if len(blocks) > 0 && b.MinTime < blocks[len(blocks)-1].MaxTime {
+			return fmt.Errorf("%w: index entry %d block %d: out of time order", ErrCorrupt, i, j)
+		}
+		if b.Stats, err = readStatsEntry(br); err != nil {
+			return fmt.Errorf("%w: index entry %d block %d stats: %v", ErrCorrupt, i, j, err)
+		}
+		sum += b.Count
+		blocks = append(blocks, b)
+	}
+	if sum != m.Count {
+		return fmt.Errorf("%w: index entry %d: block counts sum to %d, chunk says %d",
+			ErrCorrupt, i, sum, m.Count)
+	}
+	if blocks[0].MinTime != m.MinTime || blocks[len(blocks)-1].MaxTime != m.MaxTime {
+		return fmt.Errorf("%w: index entry %d: block time bounds disagree with chunk", ErrCorrupt, i)
+	}
+	m.Blocks = blocks
 	return nil
 }
 
@@ -447,8 +859,81 @@ func (r *Reader) Index() []ChunkMeta {
 	return out
 }
 
-// ReadChunk decodes the chunk at meta, verifying its CRC.
+// ReadBlock decodes one block of a v3 chunk, verifying its CRC. The
+// block's extent was validated against the file layout at Open, so a
+// read never leaves the chunk region.
+func (r *Reader) ReadBlock(meta ChunkMeta, b BlockMeta) ([]int64, []float64, error) {
+	buf := make([]byte, b.Size)
+	if _, err := r.f.ReadAt(buf, b.Offset); err != nil {
+		return nil, nil, fmt.Errorf("%w: block read: %v", ErrCorrupt, err)
+	}
+	payload := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, nil, fmt.Errorf("%w: block crc mismatch: %08x != %08x", ErrCorrupt, got, want)
+	}
+	times, consumed, err := encoding.DecodeTS2Diff(payload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: block timestamps: %v", ErrCorrupt, err)
+	}
+	if len(times) != b.Count {
+		return nil, nil, fmt.Errorf("%w: block count %d, index says %d", ErrCorrupt, len(times), b.Count)
+	}
+	values, _, err := encoding.DecodeGorilla(payload[consumed:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: block values: %v", ErrCorrupt, err)
+	}
+	if len(values) != b.Count {
+		return nil, nil, fmt.Errorf("%w: block value count %d, index says %d", ErrCorrupt, len(values), b.Count)
+	}
+	return times, values, nil
+}
+
+// verifyChunkName checks the name header at the start of a blocked
+// chunk against its index entry.
+func (r *Reader) verifyChunkName(meta ChunkMeta) error {
+	hdrLen := meta.Blocks[0].Offset - meta.Offset
+	if hdrLen <= 0 || hdrLen > int64(maxSensorName+10) {
+		return fmt.Errorf("%w: chunk header %d bytes", ErrCorrupt, hdrLen)
+	}
+	buf := make([]byte, hdrLen)
+	if _, err := r.f.ReadAt(buf, meta.Offset); err != nil {
+		return fmt.Errorf("%w: chunk header: %v", ErrCorrupt, err)
+	}
+	br := &sliceReader{b: buf}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: chunk name len: %v", ErrCorrupt, err)
+	}
+	name, err := br.take(int(nameLen))
+	if err != nil {
+		return fmt.Errorf("%w: chunk name: %v", ErrCorrupt, err)
+	}
+	if string(name) != meta.Sensor {
+		return fmt.Errorf("%w: chunk sensor %q, index says %q", ErrCorrupt, name, meta.Sensor)
+	}
+	return nil
+}
+
+// ReadChunk decodes the chunk at meta, verifying its CRC (per block,
+// for v3 blocked chunks).
 func (r *Reader) ReadChunk(meta ChunkMeta) ([]int64, []float64, error) {
+	if len(meta.Blocks) > 0 {
+		if err := r.verifyChunkName(meta); err != nil {
+			return nil, nil, err
+		}
+		times := make([]int64, 0, meta.Count)
+		values := make([]float64, 0, meta.Count)
+		for _, b := range meta.Blocks {
+			ts, vs, err := r.ReadBlock(meta, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			times = append(times, ts...)
+			values = append(values, vs...)
+		}
+		return times, values, nil
+	}
 	// Upper-bound the payload size: name + worst-case TS2Diff varints
 	// (10 B/value) + worst-case Gorilla (~10 B/value: 2 control bits +
 	// 11 window bits + 64 payload bits) + headers + crc. Never read past
@@ -511,25 +996,41 @@ func (r *Reader) ReadChunk(meta ChunkMeta) ([]int64, []float64, error) {
 
 // QuerySensor returns all (time, value) records of sensor within
 // [minT, maxT], merged across the file's chunks in time order. Chunks
-// whose time bounds do not intersect the range are pruned without
-// touching the disk.
+// — and, in v3 files, individual blocks — whose time bounds do not
+// intersect the range are pruned without touching the disk.
 func (r *Reader) QuerySensor(sensor string, minT, maxT int64) ([]int64, []float64, error) {
 	var outT []int64
 	var outV []float64
-	for _, m := range r.index {
-		if m.Sensor != sensor || m.MaxTime < minT || m.MinTime > maxT {
-			continue
-		}
-		ts, vs, err := r.ReadChunk(m)
-		if err != nil {
-			return nil, nil, err
-		}
+	appendRange := func(ts []int64, vs []float64) {
 		for i, t := range ts {
 			if t >= minT && t <= maxT {
 				outT = append(outT, t)
 				outV = append(outV, vs[i])
 			}
 		}
+	}
+	for _, m := range r.index {
+		if m.Sensor != sensor || m.MaxTime < minT || m.MinTime > maxT {
+			continue
+		}
+		if len(m.Blocks) > 0 {
+			for _, b := range m.Blocks {
+				if b.MaxTime < minT || b.MinTime > maxT {
+					continue
+				}
+				ts, vs, err := r.ReadBlock(m, b)
+				if err != nil {
+					return nil, nil, err
+				}
+				appendRange(ts, vs)
+			}
+			continue
+		}
+		ts, vs, err := r.ReadChunk(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		appendRange(ts, vs)
 	}
 	return outT, outV, nil
 }

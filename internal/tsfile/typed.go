@@ -52,6 +52,9 @@ func WriteTypedChunk[V TypedValues](w *Writer, sensor string, times []int64, val
 	if w.closed {
 		return fmt.Errorf("tsfile: write after Close")
 	}
+	if w.cur != nil {
+		return fmt.Errorf("tsfile: WriteTypedChunk during an open streaming chunk")
+	}
 	if len(times) == 0 || len(times) != len(values) {
 		return fmt.Errorf("tsfile: bad chunk shape: %d times, %d values", len(times), len(values))
 	}
@@ -82,6 +85,7 @@ func WriteTypedChunk[V TypedValues](w *Writer, sensor string, times []int64, val
 	meta := ChunkMeta{
 		Sensor:  sensor,
 		Offset:  w.off,
+		Size:    int64(len(payload)) + 4,
 		Count:   len(times),
 		MinTime: times[0],
 		MaxTime: times[len(times)-1],
