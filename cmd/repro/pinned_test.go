@@ -1,0 +1,56 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// collectImports parses the non-test Go files under dir and returns
+// every import path.
+func collectImports(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	imports := map[string]bool{}
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import %s", name, imp.Path.Value)
+				}
+				imports[path] = true
+			}
+		}
+	}
+	return imports
+}
+
+// TestReproPinnedToFlatSensorPath guards the paper's measurement
+// configuration: cmd/repro drives only internal/experiments, and the
+// experiment code never routes through the label subsystem — sensors
+// stay flat strings on the path every published number came from. (The
+// behavioral half of the pin is the shard package's one-shard
+// flat-sensor equivalence test.)
+func TestReproPinnedToFlatSensorPath(t *testing.T) {
+	for path := range collectImports(t, ".") {
+		if strings.HasPrefix(path, "repro/") && path != "repro/internal/experiments" {
+			t.Fatalf("cmd/repro imports %s; it must drive experiments only", path)
+		}
+	}
+	for path := range collectImports(t, filepath.Join("..", "..", "internal", "experiments")) {
+		if path == "repro/internal/labels" || path == "repro/internal/index" {
+			t.Fatalf("internal/experiments imports %s; the measurement path must stay label-free", path)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/labels"
+	"repro/internal/query"
+	"repro/internal/shard"
+)
+
+// hostMetricSet builds the canonical K-hosts × M-metrics label set.
+func hostMetricSet(host, metric int) labels.Set {
+	return labels.MustNew(
+		labels.Label{Name: "host", Value: fmt.Sprintf("h%03d", host)},
+		labels.Label{Name: "metric", Value: fmt.Sprintf("m%03d", metric)},
+	)
+}
+
+// runLabels is the label-series workload: K hosts × M metrics register
+// and fill through the series index, then selector queries of three
+// widths (one host's series, one metric across all hosts, a regex over
+// a host range) fan out across the shards. Reported: registration and
+// ingest throughput, selector query latency per width, and the index
+// counters every other mode also prints.
+func runLabels(cc cellConfig, hosts, metrics, pointsPerSeries int) error {
+	if cc.addr != "" {
+		return fmt.Errorf("labels: the workload drives an in-process sharded store (-addr is not supported)")
+	}
+	if hosts <= 0 || metrics <= 0 || pointsPerSeries <= 0 {
+		return fmt.Errorf("labels: -hosts, -metrics and -points-per-series must be positive")
+	}
+	dir := cc.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "tsbench-labels-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	if cc.walSync != "" && cc.walSync != engine.WALSyncNone {
+		cc.wal = true
+	}
+	r, err := shard.Open(shard.Config{Config: cc.engineConfig(dir), ShardCount: cc.shards})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	series := hosts * metrics
+	times := make([]int64, pointsPerSeries)
+	values := make([]float64, pointsPerSeries)
+	ingestStart := time.Now()
+	for h := 0; h < hosts; h++ {
+		for m := 0; m < metrics; m++ {
+			for i := range times {
+				times[i] = int64(i)
+				values[i] = float64(h*metrics + m + i)
+			}
+			if err := r.InsertSeries(hostMetricSet(h, m), times, values); err != nil {
+				return err
+			}
+		}
+	}
+	r.WaitFlushes()
+	ingest := time.Since(ingestStart)
+
+	type sel struct {
+		name string
+		ms   []*labels.Matcher
+		want int
+	}
+	sels := []sel{
+		{"one-host", []*labels.Matcher{labels.MustMatcher(labels.MatchEq, "host", "h000")}, metrics},
+		{"one-metric", []*labels.Matcher{labels.MustMatcher(labels.MatchEq, "metric", "m000")}, hosts},
+		{"host-range", []*labels.Matcher{labels.MustMatcher(labels.MatchRe, "host", "h00[0-4]")}, min(5, hosts) * metrics},
+		{"all", nil, series},
+	}
+	fmt.Printf("labels: %d series (%d hosts × %d metrics), %d points/series, %d shards, %v ingest (%.0f points/s)\n",
+		series, hosts, metrics, pointsPerSeries, r.ShardCount(), ingest,
+		float64(series*pointsPerSeries)/ingest.Seconds())
+	for _, s := range sels {
+		qStart := time.Now()
+		sp, err := r.QuerySeries(s.ms, 0, int64(pointsPerSeries))
+		if err != nil {
+			return err
+		}
+		lat := time.Since(qStart)
+		if len(sp) != s.want {
+			return fmt.Errorf("labels: selector %s matched %d series, expected %d", s.name, len(sp), s.want)
+		}
+		pts := 0
+		for _, one := range sp {
+			pts += len(one.Points)
+		}
+		fmt.Printf("  selector %-10s %5d series, %8d points, %v\n", s.name, len(sp), pts, lat)
+	}
+	st := r.Stats()
+	fmt.Printf("  index: %d series, %d label pairs, %d postings entries, %d resolutions\n",
+		st.SeriesCount, st.LabelPairs, st.PostingsEntries, st.MatcherResolutions)
+	fmt.Printf("  fan-out: %d selector queries, %d series queried, max width %d\n",
+		st.SelectorQueries, st.FanoutSeries, st.MaxFanoutWidth)
+	return nil
+}
+
+// runLabelsSmoke is the CI gate for the label subsystem: 50 hosts × 20
+// metrics = 1000 series ingest through a 4-shard router; selector
+// queries must match the per-sensor oracle loop exactly; a non-matching
+// selector returns empty, not an error; the cross-series windowed sum
+// equals the oracle sum; and after a close/reopen the series IDs,
+// postings and data all survive. Run under -race in CI so the parallel
+// fan-out path is exercised with the race detector on.
+func runLabelsSmoke() error {
+	const (
+		hosts   = 50
+		metrics = 20
+		series  = hosts * metrics
+		points  = 16
+		shards  = 4
+	)
+	dir, err := os.MkdirTemp("", "tsbench-labels-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	open := func() (*shard.Router, error) {
+		return shard.Open(shard.Config{
+			Config:     engine.Config{Dir: dir, MemTableSize: 4096, SyncFlush: true},
+			ShardCount: shards,
+		})
+	}
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			r.Close()
+		}
+	}()
+
+	times := make([]int64, points)
+	values := make([]float64, points)
+	for h := 0; h < hosts; h++ {
+		for m := 0; m < metrics; m++ {
+			for i := range times {
+				times[i] = int64(i * 5)
+				values[i] = float64(h*1000 + m*10 + i)
+			}
+			if err := r.InsertSeries(hostMetricSet(h, m), times, values); err != nil {
+				return err
+			}
+		}
+	}
+	r.WaitFlushes()
+	if n := r.SeriesCount(); n != series {
+		return fmt.Errorf("labels-smoke: registered %d series, expected %d", n, series)
+	}
+
+	// Selector vs per-sensor oracle: the fan-out result must be
+	// byte-identical to querying each canonical sensor directly.
+	check := func(ms []*labels.Matcher, want int) error {
+		sp, err := r.QuerySeries(ms, 0, int64(points*5))
+		if err != nil {
+			return err
+		}
+		if len(sp) != want {
+			return fmt.Errorf("matched %d series, expected %d", len(sp), want)
+		}
+		for _, one := range sp {
+			oracle, err := r.Query(one.Labels.Canonical(), 0, int64(points*5))
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(one.Points, oracle) {
+				return fmt.Errorf("series %s: fan-out differs from per-sensor oracle", one.Labels)
+			}
+		}
+		return nil
+	}
+	if err := check(nil, series); err != nil {
+		return fmt.Errorf("labels-smoke: all-series: %w", err)
+	}
+	if err := check([]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "host", "h007")}, metrics); err != nil {
+		return fmt.Errorf("labels-smoke: one-host: %w", err)
+	}
+	if err := check([]*labels.Matcher{labels.MustMatcher(labels.MatchRe, "host", "h00[0-9]")}, 10*metrics); err != nil {
+		return fmt.Errorf("labels-smoke: regex: %w", err)
+	}
+	if err := check([]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "host", "nonexistent")}, 0); err != nil {
+		return fmt.Errorf("labels-smoke: non-matching selector must be empty, not an error: %w", err)
+	}
+
+	// Cross-series aggregation: sum over one host's series equals the
+	// hand-computed total of its values.
+	wins, err := r.AggregateSeriesGroup(
+		[]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "host", "h003")},
+		0, int64(points*5), int64(points*5), query.Sum)
+	if err != nil {
+		return err
+	}
+	var want float64
+	for m := 0; m < metrics; m++ {
+		for i := 0; i < points; i++ {
+			want += float64(3*1000 + m*10 + i)
+		}
+	}
+	if len(wins) != 1 || wins[0].Value != want || wins[0].Count != metrics*points {
+		return fmt.Errorf("labels-smoke: cross-series sum %+v, expected value %v count %d", wins, want, metrics*points)
+	}
+
+	// Restart: series IDs and postings replay from the catalog.
+	idsBefore := r.SelectSeries([]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "metric", "m011")})
+	if err := r.Close(); err != nil {
+		return err
+	}
+	closed = true
+	r2, err := open()
+	if err != nil {
+		return err
+	}
+	defer r2.Close()
+	if n := r2.SeriesCount(); n != series {
+		return fmt.Errorf("labels-smoke: %d series after restart, expected %d", n, series)
+	}
+	idsAfter := r2.SelectSeries([]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "metric", "m011")})
+	if !reflect.DeepEqual(idsBefore, idsAfter) {
+		return fmt.Errorf("labels-smoke: selection changed across restart: %v vs %v", idsBefore, idsAfter)
+	}
+	if err := func() error {
+		sp, err := r2.QuerySeries([]*labels.Matcher{
+			labels.MustMatcher(labels.MatchEq, "host", "h003"),
+			labels.MustMatcher(labels.MatchEq, "metric", "m011"),
+		}, 0, int64(points*5))
+		if err != nil {
+			return err
+		}
+		if len(sp) != 1 || len(sp[0].Points) != points {
+			return fmt.Errorf("post-restart selector query returned %d series", len(sp))
+		}
+		return nil
+	}(); err != nil {
+		return fmt.Errorf("labels-smoke: %w", err)
+	}
+
+	st := r2.Stats()
+	fmt.Printf("labels-smoke: %d series, %d label pairs, %d postings entries survive restart\n",
+		st.SeriesCount, st.LabelPairs, st.PostingsEntries)
+	fmt.Printf("labels-smoke: PASS (%d-series fan-out matches per-sensor oracle across %d shards)\n",
+		series, shards)
+	return nil
+}

@@ -66,6 +66,11 @@ func main() {
 	queryRange := flag.Int64("query-range", 16, "time width of each narrow-range query in -point-query mode")
 	readampSmoke := flag.Bool("readamp-smoke", false, "run the read-amplification smoke check (v3 block seeks vs v2 whole-chunk decodes) and exit")
 	compactionSmoke := flag.Bool("compaction-smoke", false, "run the leveled-compaction smoke check (per-pass input within the level bound, O(1) partition drop) and exit")
+	labelsMode := flag.Bool("labels", false, "run the label-series workload: -hosts × -metrics series through the inverted index, then selector queries fanned out across the shards")
+	hosts := flag.Int("hosts", 50, "host label cardinality for the -labels workload")
+	metrics := flag.Int("metrics", 20, "metric label cardinality for the -labels workload")
+	pointsPerSeries := flag.Int("points-per-series", 64, "points written to each series in the -labels workload")
+	labelsSmoke := flag.Bool("labels-smoke", false, "run the label-index smoke check (selector fan-out over 1000 series vs per-sensor oracle, catalog replay across restart) and exit")
 	flag.Parse()
 
 	if *aggSmoke {
@@ -84,6 +89,13 @@ func main() {
 	}
 	if *compactionSmoke {
 		if err := runCompactionSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *labelsSmoke {
+		if err := runLabelsSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -108,6 +120,13 @@ func main() {
 		blockPoints: *blockPoints, partitionDuration: *partitionDuration,
 		l0Files: *l0Files, levelBase: *levelBase,
 		levelGrowth: *levelGrowth, maxLevel: *maxLevel,
+	}
+	if *labelsMode {
+		if err := runLabels(cell, *hosts, *metrics, *pointsPerSeries); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *pointQuery {
 		if err := runPointQuery(cell, *queryRange); err != nil {

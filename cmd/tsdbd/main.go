@@ -7,6 +7,7 @@
 //
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -algo backward
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -shards 0   # GOMAXPROCS shards
+//	tsdbd -addr 127.0.0.1:6668 -dir ./data -labels     # router + label index at one shard
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-exchange connection deadline for reads and writes (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown drain deadline on SIGTERM/SIGINT")
 	shards := flag.Int("shards", 1, "engine shards: 1 = single unsharded engine (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards")
+	labelsOn := flag.Bool("labels", false, "run the shard router (with its label index) even at -shards 1; required for label-series workloads against a single shard")
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
@@ -73,10 +75,12 @@ func main() {
 	// The backend is either one bare engine (-shards 1, the legacy
 	// flat directory layout) or the shard router; both implement the
 	// rpc server surface.
+	// -labels forces the router even at one shard: the label index and
+	// series catalog live a layer above the engine, in the router.
 	var backend rpc.Backend
 	var closeBackend func() error
 	shardCount := 1
-	if *shards == 1 {
+	if *shards == 1 && !*labelsOn {
 		eng, err := engine.Open(engCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)

@@ -10,6 +10,15 @@
 //	> FLUSH
 //	> COMPACT
 //
+// With -shards N (or -labels at one shard) the label data model is
+// available: series are named by label sets and queried by selector,
+// fanning out across the matching series.
+//
+//	tsql -dir ./data -shards 4
+//	> INSERT INTO series{host="a", metric="cpu"} VALUES (1, 0.5)
+//	> SELECT * FROM series{host="a", metric=~"cpu|mem"}
+//	> SELECT sum(value) FROM series{region=~"west-.*"} GROUP BY WINDOW(60000)
+//
 // Statements may also be piped on stdin, one per line.
 package main
 
@@ -31,6 +40,7 @@ func main() {
 	memtable := flag.Int("memtable", engine.DefaultMemTableSize, "memtable flush threshold (points, per shard)")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
 	shards := flag.Int("shards", 1, "engine shards: 1 = unsharded (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards; STATS then prints the per-shard breakdown")
+	labelsOn := flag.Bool("labels", false, "run the shard router (with its label index) even at -shards 1, enabling series{...} selector statements")
 	blockPoints := flag.Int("block-points", 0, "target points per v3 chunk block (0 = default, negative = legacy v2 single-unit chunks)")
 	partitionDuration := flag.Int64("partition-duration", 0, "time-partition width; > 0 enables the partitioned leveled layout (p<epoch>/L<n>/)")
 	flag.Parse()
@@ -47,9 +57,11 @@ func main() {
 		BlockPoints:       *blockPoints,
 		PartitionDuration: *partitionDuration,
 	}
+	// -labels forces the router even at one shard: selector statements
+	// need the label index, which lives in the router.
 	var eng tsql.Engine
 	var closeEng func() error
-	if *shards == 1 {
+	if *shards == 1 && !*labelsOn {
 		e, err := engine.Open(engCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsql: %v\n", err)

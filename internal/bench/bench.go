@@ -221,6 +221,15 @@ type Result struct {
 	MaxCompactionPassBytes int64
 	PartitionsDropped      int64
 	PartitionsActive       int
+	// Label-index counters (series catalog, postings, selector
+	// fan-out), non-zero only when the target routes label series.
+	SeriesCount        int
+	LabelPairs         int
+	PostingsEntries    int64
+	MatcherResolutions int64
+	SelectorQueries    int64
+	FanoutSeries       int64
+	MaxFanoutWidth     int
 	// PerShard holds the per-shard stats breakdown when the target is
 	// sharded (shard router in-process, or a sharded tsdbd over rpc);
 	// nil against an unsharded target.
@@ -445,6 +454,13 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.MaxCompactionPassBytes = st.MaxCompactionPassBytes
 	res.PartitionsDropped = st.PartitionsDropped
 	res.PartitionsActive = st.PartitionsActive
+	res.SeriesCount = st.SeriesCount
+	res.LabelPairs = st.LabelPairs
+	res.PostingsEntries = st.PostingsEntries
+	res.MatcherResolutions = st.MatcherResolutions
+	res.SelectorQueries = st.SelectorQueries
+	res.FanoutSeries = st.FanoutSeries
+	res.MaxFanoutWidth = st.MaxFanoutWidth
 	if ss, ok := target.(ShardStatser); ok {
 		per, err := ss.ShardStats()
 		if err != nil {

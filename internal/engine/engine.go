@@ -252,6 +252,17 @@ type Stats struct {
 	MaxCompactionPassBytes int64 // largest single pass's input bytes
 	PartitionsDropped      int64 // partitions removed by DropPartitionsBefore
 	PartitionsActive       int   // distinct time partitions currently on disk
+	// Label-index counters. The inverted series index lives at the
+	// shard-router layer, so a bare engine always reports zeros; the
+	// fields sit in Stats so the merged router snapshot keeps the
+	// engine's shape for every existing consumer.
+	SeriesCount        int   // registered label series
+	LabelPairs         int   // distinct name=value postings lists
+	PostingsEntries    int64 // total series-id entries across postings
+	MatcherResolutions int64 // selector resolutions served by the index
+	SelectorQueries    int64 // multi-series selector queries executed
+	FanoutSeries       int64 // per-series subqueries fanned out by those
+	MaxFanoutWidth     int   // widest single selector fan-out
 }
 
 // Engine is the storage engine. All methods are safe for concurrent

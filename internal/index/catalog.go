@@ -1,0 +1,241 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultfs"
+)
+
+// The series catalog is an append-only log of registrations, one
+// record per new series, in the WAL's record framing:
+//
+//	uint32 payloadLen | payload | uint32 CRC-32(payload)
+//
+// with payload = uvarint(seriesID) + canonical label-set bytes.
+//
+// faultfs.FS has no append-open (crash injection only concerns the
+// write path, and the engine's other logs are create-once), so reopen
+// replays the existing file with a plain read handle, then rewrites a
+// compacted copy through fs.Create + atomic rename and keeps that
+// handle for subsequent appends — the inode survives the rename, so
+// appends through the kept handle land in the live catalog. The
+// rewrite also heals a torn tail left by a crash mid-append. A store
+// that never registers a series never creates the file, so
+// flat-sensor directories stay label-free.
+
+const (
+	catalogName = "catalog.log"
+	// maxCatalogRecord bounds one record; far above any sane label set,
+	// low enough that a corrupt length prefix cannot demand gigabytes.
+	maxCatalogRecord = 1 << 20
+)
+
+type catalog struct {
+	fs      faultfs.FS
+	dir     string
+	path    string
+	durable bool
+	f       faultfs.File // nil until first append when no records replayed
+	closed  bool
+}
+
+type record struct {
+	id        SeriesID
+	canonical string
+}
+
+// openCatalog replays dir/catalog.log (if present) through add, then
+// prepares the append handle. Torn final records are dropped; earlier
+// corruption is an error. When records were replayed the file is
+// rewritten compacted (tmp + rename) and that handle kept open;
+// otherwise the file is created lazily on first append.
+func openCatalog(dir string, opts Options, add func(id SeriesID, canonical string) error) (*catalog, error) {
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("index: mkdir %s: %w", dir, err)
+	}
+	c := &catalog{
+		fs:      opts.FS,
+		dir:     dir,
+		path:    filepath.Join(dir, catalogName),
+		durable: opts.Durable,
+	}
+	var records []record
+	err := replayCatalog(c.path, func(r record) error {
+		if err := add(r.id, r.canonical); err != nil {
+			return err
+		}
+		records = append(records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return c, nil
+	}
+	if err := c.rewrite(records); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// replayCatalog streams records through fn, mirroring wal.Replay's
+// torn-tail semantics: a missing file or torn final record is fine, a
+// CRC mismatch with bytes after it is corruption.
+func replayCatalog(path string, fn func(record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [4]byte
+	var buf []byte
+	offset := int64(0)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end, or torn length prefix
+			}
+			return err
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:]))
+		if plen <= 0 || plen > maxCatalogRecord {
+			return fmt.Errorf("index: %s: invalid record length %d at offset %d", path, plen, offset)
+		}
+		if cap(buf) < plen+4 {
+			buf = make([]byte, plen+4)
+		}
+		buf = buf[:plen+4]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // torn tail
+			}
+			return err
+		}
+		payload := buf[:plen]
+		want := binary.LittleEndian.Uint32(buf[plen:])
+		if crc32.ChecksumIEEE(payload) != want {
+			// A bad CRC on the very last record is a torn final write;
+			// anything following it makes this mid-file corruption.
+			if _, err := br.ReadByte(); err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("index: %s: CRC mismatch at offset %d", path, offset)
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("index: %s: offset %d: %w", path, offset, err)
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		offset += int64(4 + plen + 4)
+	}
+}
+
+func decodeRecord(payload []byte) (record, error) {
+	id, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return record{}, fmt.Errorf("bad series id varint")
+	}
+	if len(payload) == n {
+		return record{}, fmt.Errorf("empty canonical encoding")
+	}
+	return record{id: SeriesID(id), canonical: string(payload[n:])}, nil
+}
+
+func encodeRecord(r record) []byte {
+	payload := binary.AppendUvarint(nil, uint64(r.id))
+	payload = append(payload, r.canonical...)
+	buf := make([]byte, 0, 4+len(payload)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// rewrite writes records into a fresh tmp file and atomically renames
+// it over the catalog, keeping the handle open for appends.
+func (c *catalog) rewrite(records []record) error {
+	tmp := c.path + ".tmp"
+	f, err := c.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("index: create %s: %w", tmp, err)
+	}
+	for _, r := range records {
+		if _, err := f.Write(encodeRecord(r)); err != nil {
+			f.Close()
+			return fmt.Errorf("index: rewrite %s: %w", tmp, err)
+		}
+	}
+	if c.durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("index: sync %s: %w", tmp, err)
+		}
+	}
+	if err := c.fs.Rename(tmp, c.path); err != nil {
+		f.Close()
+		return fmt.Errorf("index: rename %s: %w", tmp, err)
+	}
+	if c.durable {
+		if err := c.fs.SyncDir(c.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("index: syncdir %s: %w", c.dir, err)
+		}
+	}
+	c.f = f
+	return nil
+}
+
+// append writes one registration record, fsyncing when durable. The
+// caller holds the index write lock, so appends are serialized.
+func (c *catalog) append(id SeriesID, canonical string) error {
+	if c.closed {
+		return fmt.Errorf("index: catalog closed")
+	}
+	if c.f == nil {
+		f, err := c.fs.Create(c.path)
+		if err != nil {
+			return fmt.Errorf("index: create %s: %w", c.path, err)
+		}
+		c.f = f
+		if c.durable {
+			if err := c.fs.SyncDir(c.dir); err != nil {
+				return fmt.Errorf("index: syncdir %s: %w", c.dir, err)
+			}
+		}
+	}
+	if _, err := c.f.Write(encodeRecord(record{id: id, canonical: canonical})); err != nil {
+		return err
+	}
+	if c.durable {
+		if err := c.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *catalog) close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

@@ -1,0 +1,318 @@
+// Package index implements the inverted series index that resolves
+// label selectors to series: every name=value pair maps to a postings
+// list of series IDs (kept sorted, so selector terms intersect by
+// sorted-list merge, the classic inverted-index plan), and the series
+// catalog — the ID ↔ label-set mapping — persists in an append-only
+// catalog.log that is replayed on open, so series IDs survive
+// restarts the way acknowledged writes survive through the WAL.
+//
+// Matcher semantics follow the usual selector conventions: a series'
+// value for an absent label is the empty string, so {host=""} selects
+// series without a host label; regex matchers are fully anchored; a
+// selector that matches nothing returns an empty list, not an error.
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultfs"
+	"repro/internal/labels"
+)
+
+// SeriesID identifies one series. IDs are assigned densely in
+// registration order, persist across restarts via the catalog, and
+// are never reused.
+type SeriesID uint64
+
+// Options configures an Index beyond its directory.
+type Options struct {
+	// FS is the filesystem seam for catalog writes (default
+	// faultfs.OS); crash tests inject fault filesystems here.
+	FS faultfs.FS
+	// Durable makes series registration survive a machine crash: each
+	// appended catalog record is fsynced before EnsureSeries returns,
+	// and catalog lifecycle changes fsync the directory. Registration
+	// is rare relative to ingestion, so the cost is per new series,
+	// not per point.
+	Durable bool
+}
+
+// Stats is a snapshot of index-side metrics.
+type Stats struct {
+	// Series is the number of registered series.
+	Series int
+	// LabelPairs is the number of distinct name=value postings lists.
+	LabelPairs int
+	// PostingsEntries is the total series-ID entries across those
+	// lists — the index's memory-side size.
+	PostingsEntries int64
+	// Resolutions counts selector resolutions served by Select.
+	Resolutions int64
+}
+
+// Index is the inverted series index. All methods are safe for
+// concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	catalog  *catalog
+	series   map[SeriesID]labels.Set
+	ids      map[string]SeriesID // canonical encoding -> id
+	all      []SeriesID          // every id, ascending
+	postings map[string]map[string][]SeriesID
+	byName   map[string][]SeriesID // union of postings[name], ascending
+	pairs    int
+	entries  int64
+	nextID   SeriesID
+
+	resolutions atomic.Int64
+}
+
+// Open creates or reopens the index rooted at dir, replaying
+// catalog.log (when present) so series keep their IDs. A torn final
+// record — a crash mid-append — is dropped and healed by the
+// compacting rewrite, like a torn WAL tail: it was never
+// acknowledged. Corruption before the tail is an error, because it
+// means an acknowledged registration was lost.
+func Open(dir string, opts Options) (*Index, error) {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
+	x := &Index{
+		series:   make(map[SeriesID]labels.Set),
+		ids:      make(map[string]SeriesID),
+		postings: make(map[string]map[string][]SeriesID),
+		byName:   make(map[string][]SeriesID),
+	}
+	cat, err := openCatalog(dir, opts, func(id SeriesID, canonical string) error {
+		ls, err := labels.ParseCanonical(canonical)
+		if err != nil {
+			return err
+		}
+		return x.addLocked(id, ls, canonical)
+	})
+	if err != nil {
+		return nil, err
+	}
+	x.catalog = cat
+	return x, nil
+}
+
+// addLocked registers a series in the in-memory maps. Caller holds
+// x.mu (or, during Open, is the sole owner). Replaying a canonical
+// encoding that is already registered keeps the first ID (the one the
+// catalog acknowledged first).
+func (x *Index) addLocked(id SeriesID, ls labels.Set, canonical string) error {
+	if _, ok := x.ids[canonical]; ok {
+		return nil
+	}
+	if _, ok := x.series[id]; ok {
+		return fmt.Errorf("index: duplicate series id %d in catalog", id)
+	}
+	x.series[id] = ls
+	x.ids[canonical] = id
+	x.all = append(x.all, id)
+	for _, l := range ls {
+		vals, ok := x.postings[l.Name]
+		if !ok {
+			vals = make(map[string][]SeriesID)
+			x.postings[l.Name] = vals
+		}
+		if _, ok := vals[l.Value]; !ok {
+			x.pairs++
+		}
+		vals[l.Value] = append(vals[l.Value], id)
+		x.byName[l.Name] = append(x.byName[l.Name], id)
+		x.entries++
+	}
+	if id >= x.nextID {
+		x.nextID = id + 1
+	}
+	return nil
+}
+
+// EnsureSeries returns the ID for ls, registering it (and appending
+// the registration to the catalog) on first sight. The bool reports
+// whether the series was created by this call.
+func (x *Index) EnsureSeries(ls labels.Set) (SeriesID, bool, error) {
+	canonical := ls.Canonical()
+	x.mu.RLock()
+	id, ok := x.ids[canonical]
+	x.mu.RUnlock()
+	if ok {
+		return id, false, nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if id, ok := x.ids[canonical]; ok {
+		return id, false, nil
+	}
+	id = x.nextID
+	// Persist before registering: a series the catalog did not accept
+	// must not be handed out, or its ID would change on restart.
+	if err := x.catalog.append(id, canonical); err != nil {
+		return 0, false, fmt.Errorf("index: catalog append: %w", err)
+	}
+	if err := x.addLocked(id, ls, canonical); err != nil {
+		return 0, false, err
+	}
+	return id, true, nil
+}
+
+// Lookup returns the ID registered for ls, if any (it never creates).
+func (x *Index) Lookup(ls labels.Set) (SeriesID, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	id, ok := x.ids[ls.Canonical()]
+	return id, ok
+}
+
+// Series returns the label set registered under id.
+func (x *Index) Series(id SeriesID) (labels.Set, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ls, ok := x.series[id]
+	return ls, ok
+}
+
+// NumSeries returns the registered series count.
+func (x *Index) NumSeries() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.all)
+}
+
+// Select resolves a selector to the ascending IDs of every series all
+// matchers accept. Each matcher term resolves to a sorted postings
+// list (equality by direct lookup; regex by union over the name's
+// values; negations and empty-value terms by complement against the
+// full series list) and the term lists intersect pairwise. An empty
+// matcher list selects every series; a selector matching nothing
+// returns an empty slice, not an error.
+func (x *Index) Select(ms []*labels.Matcher) []SeriesID {
+	x.resolutions.Add(1)
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	result := x.all
+	for _, m := range ms {
+		result = intersect(result, x.matchingLocked(m))
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	// Callers may keep the result; never alias internal postings.
+	out := make([]SeriesID, len(result))
+	copy(out, result)
+	return out
+}
+
+// matchingLocked returns the ascending IDs of series whose value for
+// m.Name (empty when absent) satisfies m. Caller holds x.mu.
+func (x *Index) matchingLocked(m *labels.Matcher) []SeriesID {
+	if m.Type == labels.MatchEq && m.Value != "" {
+		return x.postings[m.Name][m.Value]
+	}
+	var lists [][]SeriesID
+	for v, ids := range x.postings[m.Name] {
+		if m.Matches(v) {
+			lists = append(lists, ids)
+		}
+	}
+	u := unionAll(lists)
+	if m.Matches("") {
+		// Series without the label match too: the complement of every
+		// series that has it.
+		u = unionAll([][]SeriesID{u, complement(x.all, x.byName[m.Name])})
+	}
+	return u
+}
+
+// intersect merges two ascending lists into their intersection.
+func intersect(a, b []SeriesID) []SeriesID {
+	var out []SeriesID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionAll merges ascending lists into their ascending union.
+func unionAll(lists [][]SeriesID) []SeriesID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	// Repeated pairwise union; selector terms rarely union more than a
+	// handful of value lists, so no heap is warranted.
+	out := lists[0]
+	for _, l := range lists[1:] {
+		merged := make([]SeriesID, 0, len(out)+len(l))
+		i, j := 0, 0
+		for i < len(out) && j < len(l) {
+			switch {
+			case out[i] < l[j]:
+				merged = append(merged, out[i])
+				i++
+			case out[i] > l[j]:
+				merged = append(merged, l[j])
+				j++
+			default:
+				merged = append(merged, out[i])
+				i++
+				j++
+			}
+		}
+		merged = append(merged, out[i:]...)
+		merged = append(merged, l[j:]...)
+		out = merged
+	}
+	return out
+}
+
+// complement returns all \ sub (both ascending).
+func complement(all, sub []SeriesID) []SeriesID {
+	var out []SeriesID
+	j := 0
+	for _, id := range all {
+		for j < len(sub) && sub[j] < id {
+			j++
+		}
+		if j < len(sub) && sub[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns a metrics snapshot.
+func (x *Index) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return Stats{
+		Series:          len(x.all),
+		LabelPairs:      x.pairs,
+		PostingsEntries: x.entries,
+		Resolutions:     x.resolutions.Load(),
+	}
+}
+
+// Close closes the catalog file. Safe to call more than once.
+func (x *Index) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.catalog.close()
+}

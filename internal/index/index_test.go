@@ -1,0 +1,252 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/labels"
+)
+
+func testSet(t *testing.T, pairs ...string) labels.Set {
+	t.Helper()
+	if len(pairs)%2 != 0 {
+		t.Fatalf("odd pairs")
+	}
+	ls := make([]labels.Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		ls = append(ls, labels.Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return labels.MustNew(ls...)
+}
+
+func mustOpen(t *testing.T, dir string) *Index {
+	t.Helper()
+	x, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return x
+}
+
+func TestEnsureSeriesAssignsStableIDs(t *testing.T) {
+	x := mustOpen(t, t.TempDir())
+	defer x.Close()
+
+	a := testSet(t, "host", "a", "metric", "cpu")
+	id1, created, err := x.EnsureSeries(a)
+	if err != nil || !created {
+		t.Fatalf("first EnsureSeries: id=%d created=%v err=%v", id1, created, err)
+	}
+	id2, created, err := x.EnsureSeries(testSet(t, "metric", "cpu", "host", "a"))
+	if err != nil || created {
+		t.Fatalf("re-EnsureSeries created a new series: id=%d created=%v err=%v", id2, created, err)
+	}
+	if id1 != id2 {
+		t.Fatalf("same label set got two ids: %d vs %d", id1, id2)
+	}
+	got, ok := x.Series(id1)
+	if !ok || got.Canonical() != a.Canonical() {
+		t.Fatalf("Series(%d) = %v, %v", id1, got, ok)
+	}
+	if id, ok := x.Lookup(a); !ok || id != id1 {
+		t.Fatalf("Lookup = %d, %v", id, ok)
+	}
+	if _, ok := x.Lookup(testSet(t, "host", "zzz")); ok {
+		t.Fatal("Lookup found unregistered series")
+	}
+}
+
+func TestSelectMatchers(t *testing.T) {
+	x := mustOpen(t, t.TempDir())
+	defer x.Close()
+
+	// hosts a,b,c × metrics cpu,mem; plus one series with no host label.
+	ids := map[string]SeriesID{}
+	for _, h := range []string{"a", "b", "c"} {
+		for _, m := range []string{"cpu", "mem"} {
+			id, _, err := x.EnsureSeries(testSet(t, "host", h, "metric", m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[h+"/"+m] = id
+		}
+	}
+	global, _, err := x.EnsureSeries(testSet(t, "metric", "uptime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sel := func(ms ...*labels.Matcher) []SeriesID { return x.Select(ms) }
+
+	if got := sel(); len(got) != 7 {
+		t.Fatalf("empty selector returned %d series, want all 7", len(got))
+	}
+	if got := sel(labels.MustMatcher(labels.MatchEq, "host", "a")); !reflect.DeepEqual(got, []SeriesID{ids["a/cpu"], ids["a/mem"]}) {
+		t.Fatalf("host=a: %v", got)
+	}
+	got := sel(
+		labels.MustMatcher(labels.MatchEq, "host", "a"),
+		labels.MustMatcher(labels.MatchEq, "metric", "cpu"),
+	)
+	if !reflect.DeepEqual(got, []SeriesID{ids["a/cpu"]}) {
+		t.Fatalf("host=a,metric=cpu: %v", got)
+	}
+	// Regex union across values.
+	got = sel(labels.MustMatcher(labels.MatchRe, "host", "a|c"))
+	want := []SeriesID{ids["a/cpu"], ids["a/mem"], ids["c/cpu"], ids["c/mem"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("host=~a|c: %v want %v", got, want)
+	}
+	// Not-equal includes series lacking the label.
+	got = sel(labels.MustMatcher(labels.MatchNotEq, "host", "a"))
+	if len(got) != 5 {
+		t.Fatalf("host!=a returned %d series, want 5 (b,c pairs + global)", len(got))
+	}
+	// Empty-value equality selects exactly the label-less series.
+	got = sel(labels.MustMatcher(labels.MatchEq, "host", ""))
+	if !reflect.DeepEqual(got, []SeriesID{global}) {
+		t.Fatalf(`host="": %v want [%d]`, got, global)
+	}
+	// host!="" excludes it.
+	got = sel(labels.MustMatcher(labels.MatchNotEq, "host", ""))
+	if len(got) != 6 {
+		t.Fatalf(`host!="" returned %d series, want 6`, len(got))
+	}
+	// Non-matching selector: empty result, not an error.
+	if got := sel(labels.MustMatcher(labels.MatchEq, "host", "nope")); len(got) != 0 {
+		t.Fatalf("host=nope: %v", got)
+	}
+	// Anchoring: =~"a" must not pick up a multi-char value starting with a.
+	if _, _, err := x.EnsureSeries(testSet(t, "host", "ab", "metric", "cpu")); err != nil {
+		t.Fatal(err)
+	}
+	got = sel(labels.MustMatcher(labels.MatchRe, "host", "a"))
+	if !reflect.DeepEqual(got, []SeriesID{ids["a/cpu"], ids["a/mem"]}) {
+		t.Fatalf("host=~a matched unanchored: %v", got)
+	}
+}
+
+func TestCatalogReplayKeepsIDs(t *testing.T) {
+	dir := t.TempDir()
+	x := mustOpen(t, dir)
+	want := map[SeriesID]string{}
+	for i := 0; i < 100; i++ {
+		ls := testSet(t, "host", fmt.Sprintf("h%02d", i%10), "metric", fmt.Sprintf("m%d", i/10))
+		id, created, err := x.EnsureSeries(ls)
+		if err != nil || !created {
+			t.Fatalf("EnsureSeries %d: created=%v err=%v", i, created, err)
+		}
+		want[id] = ls.Canonical()
+	}
+	st := x.Stats()
+	if st.Series != 100 || st.LabelPairs != 20 || st.PostingsEntries != 200 {
+		t.Fatalf("stats before restart: %+v", st)
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	y := mustOpen(t, dir)
+	defer y.Close()
+	if y.NumSeries() != 100 {
+		t.Fatalf("replayed %d series, want 100", y.NumSeries())
+	}
+	for id, canonical := range want {
+		ls, ok := y.Series(id)
+		if !ok || ls.Canonical() != canonical {
+			t.Fatalf("series %d: got %q ok=%v want %q", id, ls.Canonical(), ok, canonical)
+		}
+	}
+	// New registrations continue past the replayed IDs.
+	id, created, err := y.EnsureSeries(testSet(t, "host", "new"))
+	if err != nil || !created || id != 100 {
+		t.Fatalf("post-replay EnsureSeries: id=%d created=%v err=%v", id, created, err)
+	}
+	// Selection works over replayed postings.
+	got := y.Select([]*labels.Matcher{labels.MustMatcher(labels.MatchEq, "host", "h03")})
+	if len(got) != 10 {
+		t.Fatalf("post-replay select: %d series, want 10", len(got))
+	}
+}
+
+func TestReplayErrorsOnMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	x := mustOpen(t, dir)
+	for i := 0; i < 10; i++ {
+		if _, _, err := x.EnsureSeries(testSet(t, "host", fmt.Sprintf("h%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Close()
+
+	path := filepath.Join(dir, catalogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the middle: replay must refuse. The offset
+	// lands inside record 5's payload (each record here is 16 bytes:
+	// 4 length + 8 payload + 4 CRC), not in a length prefix — a mangled
+	// length prefix is indistinguishable from a torn tail.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2+5] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted mid-file corruption")
+	}
+
+	// A torn tail (truncated final record) is recovered from: the torn
+	// record is dropped and the rest replays.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer y.Close()
+	if y.NumSeries() != 9 {
+		t.Fatalf("torn-tail replay kept %d series, want 9", y.NumSeries())
+	}
+	// The healed catalog re-registers the lost series under a fresh ID.
+	id, created, err := y.EnsureSeries(testSet(t, "host", "h9"))
+	if err != nil || !created || id != 9 {
+		t.Fatalf("re-register after torn tail: id=%d created=%v err=%v", id, created, err)
+	}
+}
+
+func TestConcurrentEnsureSeries(t *testing.T) {
+	x := mustOpen(t, t.TempDir())
+	defer x.Close()
+	const workers = 8
+	done := make(chan map[string]SeriesID, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			got := map[string]SeriesID{}
+			for i := 0; i < 50; i++ {
+				ls := testSet(t, "host", fmt.Sprintf("h%d", i))
+				id, _, err := x.EnsureSeries(ls)
+				if err != nil {
+					panic(err)
+				}
+				got[ls.Canonical()] = id
+			}
+			done <- got
+		}()
+	}
+	first := <-done
+	for w := 1; w < workers; w++ {
+		if got := <-done; !reflect.DeepEqual(got, first) {
+			t.Fatalf("workers disagree on ids")
+		}
+	}
+	if x.NumSeries() != 50 {
+		t.Fatalf("NumSeries = %d, want 50", x.NumSeries())
+	}
+}

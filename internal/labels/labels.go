@@ -1,0 +1,209 @@
+// Package labels implements the label data model that turns flat
+// sensor strings into addressable series: a Set is a sorted list of
+// name=value pairs ("host=a,region=west"), canonically encoded so that
+// {a=1,b=2} and {b=2,a=1} are the same series everywhere — the same
+// catalog entry, the same inverted-index postings, and (because the
+// shard router hashes the canonical encoding) the same shard. The
+// layout follows the tagHash convention of tagged time-series stores:
+// pairs sorted by name, joined into one canonical string, hashed with
+// a stable function.
+package labels
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one name=value pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Set is a sorted, duplicate-free list of labels identifying one
+// series. Build one with New or FromMap (which canonicalize); a
+// hand-built unsorted Set will mis-route, so don't.
+type Set []Label
+
+// New builds a Set from labels: pairs are sorted by name, labels with
+// empty values are dropped (an empty value means "label absent", as in
+// the matcher semantics), and duplicate or empty names are rejected.
+// The resulting set must be non-empty.
+func New(ls ...Label) (Set, error) {
+	s := make(Set, 0, len(ls))
+	for _, l := range ls {
+		if l.Value == "" {
+			continue
+		}
+		if l.Name == "" {
+			return nil, fmt.Errorf("labels: empty label name (value %q)", l.Value)
+		}
+		s = append(s, l)
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].Name < s[b].Name })
+	for i := 1; i < len(s); i++ {
+		if s[i].Name == s[i-1].Name {
+			return nil, fmt.Errorf("labels: duplicate label name %q", s[i].Name)
+		}
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("labels: empty label set")
+	}
+	return s, nil
+}
+
+// FromMap builds a Set from a map.
+func FromMap(m map[string]string) (Set, error) {
+	ls := make([]Label, 0, len(m))
+	for n, v := range m {
+		ls = append(ls, Label{n, v})
+	}
+	return New(ls...)
+}
+
+// MustNew is New for tests and literals known to be valid.
+func MustNew(ls ...Label) Set {
+	s, err := New(ls...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns the value of name, or "" when the label is absent.
+func (s Set) Get(name string) string {
+	for _, l := range s {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// appendEscaped writes v with the canonical-encoding metacharacters
+// backslash-escaped, so Canonical is unambiguous for any name/value.
+func appendEscaped(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\', ',', '=':
+			b = append(b, '\\')
+		}
+		b = append(b, v[i])
+	}
+	return b
+}
+
+// Canonical returns the canonical sorted-pair encoding:
+// name=value,name=value with '\', ',' and '=' backslash-escaped. The
+// canonical string is the series' storage key — the engine's sensor
+// id, the catalog entry, and the input to shard routing — so two sets
+// with the same pairs in any input order produce identical bytes.
+func (s Set) Canonical() string {
+	var b []byte
+	for i, l := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendEscaped(b, l.Name)
+		b = append(b, '=')
+		b = appendEscaped(b, l.Value)
+	}
+	return string(b)
+}
+
+// Hash returns the stable FNV-1a hash of the canonical encoding. The
+// shard router's string hash over Canonical() computes exactly this,
+// so Hash is the series' routing key; it must never change.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	c := s.Canonical()
+	for i := 0; i < len(c); i++ {
+		h ^= uint64(c[i])
+		h *= prime64
+	}
+	return h
+}
+
+// String renders the set selector-style: {a="1",b="2"}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString("=\"")
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseCanonical decodes a Canonical() encoding back into a Set — the
+// inverse the series catalog uses at replay. It rejects encodings that
+// are not in canonical form (unsorted, duplicate or empty names,
+// trailing backslash), so a corrupt catalog record cannot smuggle in a
+// set that would re-encode differently.
+func ParseCanonical(c string) (Set, error) {
+	if c == "" {
+		return nil, fmt.Errorf("labels: empty canonical encoding")
+	}
+	var s Set
+	var cur []byte
+	var name string
+	inValue := false
+	flush := func() error {
+		if !inValue {
+			return fmt.Errorf("labels: canonical %q: pair without '='", c)
+		}
+		s = append(s, Label{Name: name, Value: string(cur)})
+		cur = cur[:0]
+		inValue = false
+		return nil
+	}
+	for i := 0; i < len(c); i++ {
+		switch c[i] {
+		case '\\':
+			if i+1 >= len(c) {
+				return nil, fmt.Errorf("labels: canonical %q: trailing backslash", c)
+			}
+			i++
+			cur = append(cur, c[i])
+		case '=':
+			if inValue {
+				return nil, fmt.Errorf("labels: canonical %q: unescaped '=' in value", c)
+			}
+			name = string(cur)
+			cur = cur[:0]
+			inValue = true
+		case ',':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			cur = append(cur, c[i])
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for i, l := range s {
+		if l.Name == "" {
+			return nil, fmt.Errorf("labels: canonical %q: empty label name", c)
+		}
+		if l.Value == "" {
+			return nil, fmt.Errorf("labels: canonical %q: empty label value", c)
+		}
+		if i > 0 && s[i-1].Name >= l.Name {
+			return nil, fmt.Errorf("labels: canonical %q: pairs not sorted", c)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,132 @@
+package labels
+
+import (
+	"testing"
+)
+
+func TestNewSortsAndCanonicalizes(t *testing.T) {
+	a := MustNew(Label{"b", "2"}, Label{"a", "1"})
+	b := MustNew(Label{"a", "1"}, Label{"b", "2"})
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical differs by input order: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if a.Canonical() != "a=1,b=2" {
+		t.Fatalf("canonical = %q, want a=1,b=2", a.Canonical())
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hash differs by input order")
+	}
+	if got := a.Get("b"); got != "2" {
+		t.Fatalf("Get(b) = %q", got)
+	}
+	if got := a.Get("missing"); got != "" {
+		t.Fatalf("Get(missing) = %q, want empty", got)
+	}
+}
+
+func TestNewRejectsBadSets(t *testing.T) {
+	if _, err := New(Label{"a", "1"}, Label{"a", "2"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := New(Label{"", "1"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	// Empty values mean "absent" and are dropped; a set of only empty
+	// values is therefore empty.
+	if _, err := New(Label{"a", ""}); err == nil {
+		t.Fatal("all-empty set accepted")
+	}
+	s, err := New(Label{"a", "1"}, Label{"drop", ""})
+	if err != nil || len(s) != 1 {
+		t.Fatalf("empty-valued label not dropped: %v %v", s, err)
+	}
+}
+
+func TestCanonicalEscapingRoundTrip(t *testing.T) {
+	tricky := []Set{
+		MustNew(Label{"host", "a=b"}),
+		MustNew(Label{"host", "a,b"}, Label{"re", `w\d+`}),
+		MustNew(Label{"k=ey", `v\`}, Label{"z", ","}),
+		MustNew(Label{"a", "1"}, Label{"b", "2"}),
+	}
+	for _, s := range tricky {
+		c := s.Canonical()
+		back, err := ParseCanonical(c)
+		if err != nil {
+			t.Fatalf("ParseCanonical(%q): %v", c, err)
+		}
+		if back.Canonical() != c {
+			t.Fatalf("round trip changed %q -> %q", c, back.Canonical())
+		}
+	}
+	// Two distinct sets must never collide on canonical bytes.
+	x := MustNew(Label{"a", "1,b=2"})
+	y := MustNew(Label{"a", "1"}, Label{"b", "2"})
+	if x.Canonical() == y.Canonical() {
+		t.Fatalf("canonical collision: %q", x.Canonical())
+	}
+}
+
+func TestParseCanonicalRejectsNonCanonical(t *testing.T) {
+	for _, bad := range []string{
+		"", "a", "a=", "=v", "b=2,a=1", "a=1,a=2", `a=1\`, "a=1,,b=2",
+	} {
+		if _, err := ParseCanonical(bad); err == nil {
+			t.Fatalf("ParseCanonical(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMatcherEquality(t *testing.T) {
+	m := MustMatcher(MatchEq, "host", "a")
+	if !m.Matches("a") || m.Matches("b") || m.Matches("") {
+		t.Fatal("equality matcher wrong")
+	}
+	n := MustMatcher(MatchNotEq, "host", "a")
+	if n.Matches("a") || !n.Matches("b") || !n.Matches("") {
+		t.Fatal("not-equal matcher wrong")
+	}
+}
+
+// TestMatcherEmptyValue: {host=""} matches series lacking the label,
+// {host!=""} matches series having it.
+func TestMatcherEmptyValue(t *testing.T) {
+	m := MustMatcher(MatchEq, "host", "")
+	if !m.Matches("") || m.Matches("a") {
+		t.Fatal(`host="" should match only absent labels`)
+	}
+	n := MustMatcher(MatchNotEq, "host", "")
+	if n.Matches("") || !n.Matches("a") {
+		t.Fatal(`host!="" should match only present labels`)
+	}
+}
+
+// TestMatcherRegexAnchored: =~"west" must not match "west-1" — the
+// regex is implicitly ^...$.
+func TestMatcherRegexAnchored(t *testing.T) {
+	m := MustMatcher(MatchRe, "region", "west")
+	if !m.Matches("west") || m.Matches("west-1") || m.Matches("northwest") {
+		t.Fatal("regex matcher not anchored")
+	}
+	p := MustMatcher(MatchRe, "region", "west-.*")
+	if !p.Matches("west-1") || p.Matches("west") {
+		t.Fatal("prefix regex wrong")
+	}
+	// Alternation must stay inside the anchor group: ^(?:a|b)$, not ^a|b$.
+	alt := MustMatcher(MatchRe, "region", "aa|bb")
+	if !alt.Matches("aa") || !alt.Matches("bb") || alt.Matches("aax") || alt.Matches("xbb") {
+		t.Fatal("alternation escaped the anchors")
+	}
+	if _, err := NewMatcher(MatchRe, "region", "("); err == nil {
+		t.Fatal("invalid regex accepted")
+	}
+}
+
+func TestMatcherString(t *testing.T) {
+	if got := MustMatcher(MatchRe, "region", "west-.*").String(); got != `region=~"west-.*"` {
+		t.Fatalf("String() = %q", got)
+	}
+}

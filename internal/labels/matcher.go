@@ -1,0 +1,91 @@
+package labels
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// MatchType discriminates matcher operators.
+type MatchType uint8
+
+// Matcher operators: equality, negated equality, anchored regular
+// expression, negated anchored regular expression.
+const (
+	MatchEq MatchType = iota
+	MatchNotEq
+	MatchRe
+	MatchNotRe
+)
+
+func (t MatchType) String() string {
+	switch t {
+	case MatchEq:
+		return "="
+	case MatchNotEq:
+		return "!="
+	case MatchRe:
+		return "=~"
+	case MatchNotRe:
+		return "!~"
+	}
+	return fmt.Sprintf("MatchType(%d)", t)
+}
+
+// Matcher is one selector term: <name> <op> <value>. A series' value
+// for an absent label is the empty string, so {host=""} matches series
+// without a host label and {host!=""} matches series with one — the
+// usual selector semantics.
+type Matcher struct {
+	Type  MatchType
+	Name  string
+	Value string
+	re    *regexp.Regexp
+}
+
+// NewMatcher builds a matcher, compiling regex values fully anchored:
+// =~"west" matches exactly "west", not "west-1" — write "west-.*" for
+// a prefix match.
+func NewMatcher(t MatchType, name, value string) (*Matcher, error) {
+	if name == "" {
+		return nil, fmt.Errorf("labels: matcher with empty label name")
+	}
+	m := &Matcher{Type: t, Name: name, Value: value}
+	if t == MatchRe || t == MatchNotRe {
+		re, err := regexp.Compile("^(?:" + value + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("labels: bad matcher regex %q: %w", value, err)
+		}
+		m.re = re
+	}
+	return m, nil
+}
+
+// MustMatcher is NewMatcher for tests and literals known to be valid.
+func MustMatcher(t MatchType, name, value string) *Matcher {
+	m, err := NewMatcher(t, name, value)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Matches reports whether a label value satisfies the matcher ("" for
+// an absent label).
+func (m *Matcher) Matches(v string) bool {
+	switch m.Type {
+	case MatchEq:
+		return v == m.Value
+	case MatchNotEq:
+		return v != m.Value
+	case MatchRe:
+		return m.re.MatchString(v)
+	case MatchNotRe:
+		return !m.re.MatchString(v)
+	}
+	return false
+}
+
+// String renders the matcher selector-style: host=~"west-.*".
+func (m *Matcher) String() string {
+	return fmt.Sprintf("%s%s%q", m.Name, m.Type, m.Value)
+}

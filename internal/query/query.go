@@ -15,6 +15,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/winagg"
@@ -140,4 +141,79 @@ func WindowQuery(e Source, sensor string, startT, endT, window int64, agg Aggreg
 		return nil, err
 	}
 	return AggregateWindows(points, startT, endT, window, agg)
+}
+
+// MergeWindows folds per-series window results into one cross-series
+// result per window start — the reduce step of a selector aggregation
+// after the per-series queries fan out across shards. Counts always
+// sum; Sum sums values, Count's value is the summed count, Avg is
+// re-weighted by per-series point counts (the mean of means would be
+// wrong when series contribute unevenly), Min/Max take the extreme.
+// First/Last are refused: their cross-series value depends on
+// ingestion order inside a window, which the merged form no longer
+// carries. Windows empty in every series stay absent; the output is
+// ordered by window start.
+func MergeWindows(agg Aggregator, perSeries [][]WindowResult) ([]WindowResult, error) {
+	type acc struct {
+		count int
+		sum   float64
+		min   float64
+		max   float64
+	}
+	switch agg {
+	case Count, Sum, Avg, Min, Max:
+	case First, Last:
+		return nil, fmt.Errorf("query: %v cannot be merged across series", agg)
+	default:
+		return nil, fmt.Errorf("query: unknown aggregator %v", agg)
+	}
+	merged := map[int64]*acc{}
+	var starts []int64
+	for _, ws := range perSeries {
+		for _, w := range ws {
+			a, ok := merged[w.Start]
+			if !ok {
+				a = &acc{min: w.Value, max: w.Value}
+				merged[w.Start] = a
+				starts = append(starts, w.Start)
+			}
+			a.count += w.Count
+			switch agg {
+			case Sum:
+				a.sum += w.Value
+			case Avg:
+				a.sum += w.Value * float64(w.Count)
+			case Min:
+				if w.Value < a.min {
+					a.min = w.Value
+				}
+			case Max:
+				if w.Value > a.max {
+					a.max = w.Value
+				}
+			}
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]WindowResult, 0, len(starts))
+	for _, s := range starts {
+		a := merged[s]
+		w := WindowResult{Start: s, Count: a.count}
+		switch agg {
+		case Count:
+			w.Value = float64(a.count)
+		case Sum:
+			w.Value = a.sum
+		case Avg:
+			if a.count > 0 {
+				w.Value = a.sum / float64(a.count)
+			}
+		case Min:
+			w.Value = a.min
+		case Max:
+			w.Value = a.max
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }

@@ -246,8 +246,9 @@ func (c *Client) ShardStats() ([]engine.Stats, error) {
 // carries no per-shard extension (the breakdown is nil then), a
 // version-2 payload carries no durability extension (the durability
 // counters stay zero), a version-3 payload carries no pruning
-// extension, and a version-4 payload carries no read-amplification
-// extension (the missing counters stay zero).
+// extension, a version-4 payload carries no read-amplification
+// extension, and a version-5 payload carries no label-index extension
+// (the missing counters stay zero).
 func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	resp, err := c.callIdempotent(OpStats, nil)
 	if err != nil {
@@ -306,6 +307,17 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	}
 	for i := range per {
 		if err := p.readAmp(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-5 payload: no label-index extension
+	}
+	if err := p.indexStats(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.indexStats(&per[i]); err != nil {
 			return st, per, err
 		}
 	}

@@ -36,11 +36,17 @@
 //	    passes, compaction bytes read, max single-pass bytes,
 //	    partitions dropped, partitions active — all varints) for the
 //	    aggregate, then one per shard
+//	6 — OpStats appends a label-index extension after the
+//	    read-amplification blocks: one block (series count, label
+//	    pairs, postings entries, matcher resolutions, selector
+//	    queries, fan-out series, max fan-out width — all varints) for
+//	    the aggregate, then one per shard (per-shard blocks are zeros:
+//	    the inverted series index is store-level)
 //
 // Extensions are strictly trailing, so a newer client reads an older
-// payload by what remains: the per-shard, durability, pruning and
-// read-amplification extensions are each detected by remaining payload
-// bytes.
+// payload by what remains: the per-shard, durability, pruning,
+// read-amplification and label-index extensions are each detected by
+// remaining payload bytes.
 package rpc
 
 import (
@@ -67,7 +73,7 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 5
+const ProtocolVersion = 6
 
 // protocolMagic opens every handshake payload. Four printable bytes so
 // an accidental connection from an unrelated protocol is rejected with
@@ -337,6 +343,51 @@ func appendReadAmp(b []byte, st engine.Stats) []byte {
 	b = binary.AppendVarint(b, st.PartitionsDropped)
 	b = binary.AppendVarint(b, int64(st.PartitionsActive))
 	return b
+}
+
+// appendIndexStats encodes the version-6 label-index counters for one
+// stats snapshot. The block trails the read-amplification extension so
+// older clients, which stop reading earlier, are unaffected.
+func appendIndexStats(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, int64(st.SeriesCount))
+	b = binary.AppendVarint(b, int64(st.LabelPairs))
+	b = binary.AppendVarint(b, st.PostingsEntries)
+	b = binary.AppendVarint(b, st.MatcherResolutions)
+	b = binary.AppendVarint(b, st.SelectorQueries)
+	b = binary.AppendVarint(b, st.FanoutSeries)
+	b = binary.AppendVarint(b, int64(st.MaxFanoutWidth))
+	return b
+}
+
+// indexStats decodes one label-index block into st (the inverse of
+// appendIndexStats).
+func (p *payloadReader) indexStats(st *engine.Stats) error {
+	v, err := p.varint()
+	if err != nil {
+		return err
+	}
+	st.SeriesCount = int(v)
+	if v, err = p.varint(); err != nil {
+		return err
+	}
+	st.LabelPairs = int(v)
+	if st.PostingsEntries, err = p.varint(); err != nil {
+		return err
+	}
+	if st.MatcherResolutions, err = p.varint(); err != nil {
+		return err
+	}
+	if st.SelectorQueries, err = p.varint(); err != nil {
+		return err
+	}
+	if st.FanoutSeries, err = p.varint(); err != nil {
+		return err
+	}
+	if v, err = p.varint(); err != nil {
+		return err
+	}
+	st.MaxFanoutWidth = int(v)
+	return nil
 }
 
 // readAmp decodes one read-amplification block into st (the inverse

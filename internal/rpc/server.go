@@ -248,6 +248,10 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendReadAmp(resp, shardStats)
 			}
+			resp = appendIndexStats(resp, merged)
+			for _, shardStats := range per {
+				resp = appendIndexStats(resp, shardStats)
+			}
 		} else {
 			st := s.eng.Stats()
 			resp = appendStats(nil, st)
@@ -255,6 +259,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			resp = appendDurability(resp, st)
 			resp = appendPruning(resp, st)
 			resp = appendReadAmp(resp, st)
+			resp = appendIndexStats(resp, st)
 		}
 		return resp, nil
 

@@ -27,8 +27,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/faultfs"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/winagg"
 )
@@ -46,6 +49,11 @@ type Config struct {
 	// ShardCount is the number of engine shards (default GOMAXPROCS).
 	// It must match the layout of an existing data directory.
 	ShardCount int
+	// FanOutWorkers bounds the per-selector-query worker pool that runs
+	// multi-series fan-out (default GOMAXPROCS). It limits concurrency
+	// within one selector query; concurrent queries each get their own
+	// budget, matching how per-shard engine locks already serialize.
+	FanOutWorkers int
 }
 
 // Router fans the engine API out over hash-partitioned shards. All
@@ -54,6 +62,14 @@ type Router struct {
 	cfg    Config
 	shards []*engine.Engine
 	pool   *engine.SharedFlushPool
+
+	// Label-series layer (labels.go): store-level inverted index plus
+	// selector fan-out accounting.
+	idx             *index.Index
+	fanWorkers      int
+	selectorQueries atomic.Int64
+	fanoutSeries    atomic.Int64
+	maxFanoutWidth  atomic.Int64
 }
 
 // shardDirFmt is the per-shard directory name layout under the root.
@@ -130,6 +146,31 @@ func Open(cfg Config) (*Router, error) {
 			r.pool.Close()
 			return nil, fmt.Errorf("shard: open: %w", err)
 		}
+	}
+
+	// The label-series index is store-level, beside the shard dirs. It
+	// inherits the engine's filesystem seam and follows the WAL's
+	// durability posture: if acknowledged writes survive crashes, so
+	// must acknowledged series registrations.
+	fs := cfg.FS
+	if fs == nil {
+		fs = faultfs.OS
+	}
+	idx, err := index.Open(filepath.Join(cfg.Dir, "index"), index.Options{
+		FS:      fs,
+		Durable: cfg.WAL && cfg.WALSync != "" && cfg.WALSync != engine.WALSyncNone,
+	})
+	if err != nil {
+		for _, e := range r.shards {
+			e.Close()
+		}
+		r.pool.Close()
+		return nil, fmt.Errorf("shard: open index: %w", err)
+	}
+	r.idx = idx
+	r.fanWorkers = cfg.FanOutWorkers
+	if r.fanWorkers <= 0 {
+		r.fanWorkers = runtime.GOMAXPROCS(0)
 	}
 	return r, nil
 }
@@ -292,6 +333,9 @@ func (r *Router) Close() error {
 	err := r.fanOut((*engine.Engine).Close)
 	// All shards are closed: no drain can submit pool work anymore.
 	r.pool.Close()
+	if cerr := r.idx.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -299,7 +343,9 @@ func (r *Router) Close() error {
 // shape an unsharded engine reports, so every existing consumer keeps
 // working). Use ShardStats for the per-shard breakdown.
 func (r *Router) Stats() engine.Stats {
-	return MergeStats(r.ShardStats())
+	m := MergeStats(r.ShardStats())
+	r.injectIndexStats(&m)
+	return m
 }
 
 // StatsAll returns the merged aggregate and the per-shard snapshots
@@ -307,7 +353,9 @@ func (r *Router) Stats() engine.Stats {
 // (the rpc server uses this for the OpStats payload).
 func (r *Router) StatsAll() (engine.Stats, []engine.Stats) {
 	per := r.ShardStats()
-	return MergeStats(per), per
+	m := MergeStats(per)
+	r.injectIndexStats(&m)
+	return m, per
 }
 
 // ShardStats returns one stats snapshot per shard, indexed by shard.
@@ -376,6 +424,15 @@ func MergeStats(per []engine.Stats) engine.Stats {
 		}
 		m.PartitionsDropped += s.PartitionsDropped
 		m.PartitionsActive += s.PartitionsActive
+		m.SeriesCount += s.SeriesCount
+		m.LabelPairs += s.LabelPairs
+		m.PostingsEntries += s.PostingsEntries
+		m.MatcherResolutions += s.MatcherResolutions
+		m.SelectorQueries += s.SelectorQueries
+		m.FanoutSeries += s.FanoutSeries
+		if s.MaxFanoutWidth > m.MaxFanoutWidth {
+			m.MaxFanoutWidth = s.MaxFanoutWidth
+		}
 
 		w := float64(s.FlushCount)
 		flushWeight += w

@@ -1,0 +1,52 @@
+package tsql
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the full parser — selector syntax included — with
+// arbitrary statements: it must return a statement or an error, never
+// panic, and accepted selector statements must re-execute their
+// invariants (selector implies matchers xor empty-all form; INSERT
+// selectors always carry a concrete label set).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`SELECT * FROM series{host="a", region=~"west-.*"}`,
+		`SELECT * FROM series{}`,
+		`SELECT * FROM series{host!="a", rack!~"r[0-9]+"} WHERE time >= 1 AND time <= 2 LIMIT 5`,
+		`SELECT sum(value) FROM series{metric="cpu"} GROUP BY WINDOW(10)`,
+		`INSERT INTO series{host="a", metric="cpu"} VALUES (1, 2.5)`,
+		`INSERT INTO s.engine.speed VALUES (1, 2), (3, 4)`,
+		`SELECT * FROM "quoted sensor" LIMIT 1`,
+		`SELECT * FROM series{host="a\"b\\c"}`,
+		`SELECT * FROM series{host='sq'}`,
+		`SELECT * FROM series{host="unterminated`,
+		`SELECT * FROM series{host=~"("}`,
+		`SELECT * FROM series{host=}`,
+		"SELECT * FROM series{h\x00st=\"a\"}",
+		`FLUSH`, `STATS`, ``,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatal("nil statement without error")
+		}
+		if st.HasSelector {
+			for _, m := range st.Matchers {
+				if m == nil || m.Name == "" {
+					t.Fatalf("accepted selector with bad matcher: %q", input)
+				}
+			}
+			if st.Kind == KindInsert && st.LabelSet == nil {
+				t.Fatalf("INSERT selector without label set: %q", input)
+			}
+		} else if len(st.Matchers) != 0 {
+			t.Fatalf("matchers without selector: %q", input)
+		}
+	})
+}

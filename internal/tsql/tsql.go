@@ -5,10 +5,19 @@
 // current - window"):
 //
 //	INSERT INTO <sensor> VALUES (t, v) [, (t, v)]...
+//	INSERT INTO series{host="a", metric="cpu"} VALUES (t, v)...
 //	SELECT * FROM <sensor> [WHERE time >= a AND time <= b] [LIMIT n]
+//	SELECT * FROM series{host="a", region=~"west-.*"} [WHERE ...]
 //	SELECT avg|sum|min|max|count|first|last(value) FROM <sensor>
 //	       [WHERE ...] GROUP BY WINDOW(w)
 //	FLUSH | COMPACT | STATS
+//
+// The series{...} form addresses series by label selector: `=` and
+// `!=` compare values exactly, `=~` and `!~` match anchored regular
+// expressions, and an empty selector `series{}` means every registered
+// series. Selector selects return (series, time, value) rows; selector
+// aggregations merge all matching series into one cross-series result
+// per window.
 //
 // Statements parse into a Statement tree and execute against an
 // Engine (a bare engine.Engine or the shard router); parsing and
@@ -22,7 +31,9 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/labels"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // Statement is a parsed statement.
@@ -40,6 +51,13 @@ type Statement struct {
 	Agg    query.Aggregator
 	HasAgg bool
 	Window int64
+	// Label selector (the series{...} form). HasSelector distinguishes
+	// an empty selector (all series) from the flat-sensor form.
+	HasSelector bool
+	Matchers    []*labels.Matcher
+	// LabelSet is the concrete label set of INSERT INTO series{...}
+	// (equality-only selectors name exactly one series).
+	LabelSet labels.Set
 }
 
 // Kind discriminates statements.
@@ -54,21 +72,68 @@ const (
 	KindStats
 )
 
-// tokenizer: statements are short, so a simple splitter suffices.
-func tokenize(s string) []string {
-	s = strings.NewReplacer("(", " ( ", ")", " ) ", ",", " , ", "=", " = ", "<", " < ", ">", " > ", "*", " * ").Replace(s)
-	// Re-join the two-char comparators split above.
-	fields := strings.Fields(s)
+// stringMarker prefixes decoded string-literal tokens so the parser
+// can tell `"select"` (a quoted value) from the SELECT keyword; \x00
+// cannot appear in source text, so no identifier collides with it.
+const stringMarker = "\x00"
+
+// tokenize scans one statement into tokens. Quoted string literals
+// (single or double quotes, backslash escapes) pass through intact —
+// `host="a=b"` is three tokens, not a mangled five — fixing the old
+// splitter that blindly padded every operator character. Two-char
+// operators (<= >= != =~ !~) are scanned before their one-char
+// prefixes.
+func tokenize(s string) ([]string, error) {
 	var out []string
-	for i := 0; i < len(fields); i++ {
-		if (fields[i] == "<" || fields[i] == ">") && i+1 < len(fields) && fields[i+1] == "=" {
-			out = append(out, fields[i]+"=")
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-			continue
+		case c == '"' || c == '\'':
+			quote := c
+			var lit []byte
+			j := i + 1
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("tsql: unterminated string literal starting at column %d", i+1)
+				}
+				if s[j] == '\\' {
+					if j+1 >= len(s) {
+						return nil, fmt.Errorf("tsql: trailing backslash in string literal")
+					}
+					lit = append(lit, s[j+1])
+					j += 2
+					continue
+				}
+				if s[j] == quote {
+					break
+				}
+				lit = append(lit, s[j])
+				j++
+			}
+			out = append(out, stringMarker+string(lit))
+			i = j + 1
+		case i+1 < len(s) && (s[i:i+2] == "<=" || s[i:i+2] == ">=" || s[i:i+2] == "!=" || s[i:i+2] == "=~" || s[i:i+2] == "!~"):
+			out = append(out, s[i:i+2])
+			i += 2
+		case strings.IndexByte("(),=<>*{}", c) >= 0:
+			out = append(out, string(c))
+			i++
+		default:
+			j := i
+			for j < len(s) && strings.IndexByte(" \t\n\r\"'(),=<>*{}", s[j]) < 0 &&
+				!(j+1 < len(s) && (s[j:j+2] == "!=" || s[j:j+2] == "!~")) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("tsql: unexpected character %q at column %d", c, i+1)
+			}
+			out = append(out, s[i:j])
+			i = j
 		}
-		out = append(out, fields[i])
 	}
-	return out
+	return out, nil
 }
 
 // parser walks the token slice.
@@ -99,6 +164,13 @@ func (p *parser) raw() string {
 	return t
 }
 
+// isString reports whether tok is a decoded string literal.
+func isString(tok string) bool { return strings.HasPrefix(tok, stringMarker) }
+
+// text returns a token's source text: string literals decode to their
+// contents, everything else passes through.
+func text(tok string) string { return strings.TrimPrefix(tok, stringMarker) }
+
 func (p *parser) expect(tok string) error {
 	if got := p.next(); got != tok {
 		return fmt.Errorf("tsql: expected %s, got %q", tok, got)
@@ -126,7 +198,11 @@ func (p *parser) float64() (float64, error) {
 
 // Parse parses one statement.
 func Parse(input string) (*Statement, error) {
-	p := &parser{toks: tokenize(strings.TrimSuffix(strings.TrimSpace(input), ";"))}
+	toks, err := tokenize(strings.TrimSuffix(strings.TrimSpace(input), ";"))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
 	switch p.next() {
 	case "INSERT":
 		return p.parseInsert()
@@ -150,9 +226,24 @@ func (p *parser) parseInsert() (*Statement, error) {
 	if err := p.expect("INTO"); err != nil {
 		return nil, err
 	}
-	st.Sensor = p.raw()
-	if st.Sensor == "" {
-		return nil, fmt.Errorf("tsql: missing sensor name")
+	if err := p.parseTarget(st); err != nil {
+		return nil, err
+	}
+	if st.HasSelector {
+		// Writes address exactly one series: every term must be an
+		// equality with a non-empty value.
+		ls := make([]labels.Label, 0, len(st.Matchers))
+		for _, m := range st.Matchers {
+			if m.Type != labels.MatchEq || m.Value == "" {
+				return nil, fmt.Errorf("tsql: INSERT selector terms must be label=\"value\", got %s", m)
+			}
+			ls = append(ls, labels.Label{Name: m.Name, Value: m.Value})
+		}
+		set, err := labels.New(ls...)
+		if err != nil {
+			return nil, fmt.Errorf("tsql: %w", err)
+		}
+		st.LabelSet = set
 	}
 	if err := p.expect("VALUES"); err != nil {
 		return nil, err
@@ -215,9 +306,8 @@ func (p *parser) parseSelect() (*Statement, error) {
 	if err := p.expect("FROM"); err != nil {
 		return nil, err
 	}
-	st.Sensor = p.raw()
-	if st.Sensor == "" {
-		return nil, fmt.Errorf("tsql: missing sensor name")
+	if err := p.parseTarget(st); err != nil {
+		return nil, err
 	}
 	for {
 		switch p.peek() {
@@ -300,6 +390,68 @@ func (p *parser) parseTimePredicate(st *Statement) error {
 	return nil
 }
 
+// parseTarget parses the table position of FROM/INTO: either a flat
+// sensor name (quoting allowed, so operator characters survive) or the
+// series{...} selector form. An unquoted sensor literally named
+// "series" without a following brace still parses as a flat sensor.
+func (p *parser) parseTarget(st *Statement) error {
+	tok := p.raw()
+	if tok == "" {
+		return fmt.Errorf("tsql: missing sensor name")
+	}
+	if !isString(tok) && strings.EqualFold(tok, "series") && p.peek() == "{" {
+		return p.parseSelector(st)
+	}
+	st.Sensor = text(tok)
+	return nil
+}
+
+// parseSelector parses {name op value, ...} into matchers. The empty
+// selector {} selects every registered series.
+func (p *parser) parseSelector(st *Statement) error {
+	st.HasSelector = true
+	p.next() // consume "{"
+	if p.peek() == "}" {
+		p.next()
+		return nil
+	}
+	for {
+		nameTok := p.raw()
+		if nameTok == "" || nameTok == "}" || nameTok == "," {
+			return fmt.Errorf("tsql: missing label name in selector")
+		}
+		var mt labels.MatchType
+		switch op := p.next(); op {
+		case "=":
+			mt = labels.MatchEq
+		case "!=":
+			mt = labels.MatchNotEq
+		case "=~":
+			mt = labels.MatchRe
+		case "!~":
+			mt = labels.MatchNotRe
+		default:
+			return fmt.Errorf("tsql: selector operator must be = != =~ or !~, got %q", op)
+		}
+		valTok := p.raw()
+		if valTok == "" || (!isString(valTok) && strings.ContainsAny(valTok, "{}(),=<>*")) {
+			return fmt.Errorf("tsql: missing label value in selector")
+		}
+		m, err := labels.NewMatcher(mt, text(nameTok), text(valTok))
+		if err != nil {
+			return fmt.Errorf("tsql: %w", err)
+		}
+		st.Matchers = append(st.Matchers, m)
+		switch p.next() {
+		case ",":
+		case "}":
+			return nil
+		default:
+			return fmt.Errorf("tsql: selector terms must be separated by ',' and closed by '}'")
+		}
+	}
+}
+
 func (p *parser) finishSelect(st *Statement) (*Statement, error) {
 	if st.HasAgg && st.Window <= 0 {
 		return nil, fmt.Errorf("tsql: aggregations need GROUP BY WINDOW(w)")
@@ -334,10 +486,40 @@ type shardStatser interface {
 	StatsAll() (engine.Stats, []engine.Stats)
 }
 
+// SeriesEngine is the label-series surface the series{...} statements
+// need. The shard router implements it; a bare engine does not, so
+// selector statements against one fail with a clear error instead of
+// misrouting.
+type SeriesEngine interface {
+	InsertSeries(ls labels.Set, times []int64, values []float64) error
+	QuerySeries(ms []*labels.Matcher, minT, maxT int64) ([]shard.SeriesPoints, error)
+	AggregateSeriesGroup(ms []*labels.Matcher, startT, endT, window int64, agg query.Aggregator) ([]query.WindowResult, error)
+}
+
+// seriesEngine resolves the label-series surface or explains why the
+// statement cannot run here.
+func seriesEngine(e Engine) (SeriesEngine, error) {
+	se, ok := e.(SeriesEngine)
+	if !ok {
+		return nil, fmt.Errorf("tsql: series{...} statements need the sharded store (run with label routing enabled)")
+	}
+	return se, nil
+}
+
 // Execute runs a parsed statement against the engine.
 func Execute(e Engine, st *Statement) (*Result, error) {
 	switch st.Kind {
 	case KindInsert:
+		if st.HasSelector {
+			se, err := seriesEngine(e)
+			if err != nil {
+				return nil, err
+			}
+			if err := se.InsertSeries(st.LabelSet, st.Times, st.Values); err != nil {
+				return nil, err
+			}
+			return &Result{Message: fmt.Sprintf("inserted %d points into %s", len(st.Times), st.LabelSet)}, nil
+		}
 		if err := e.InsertBatch(st.Sensor, st.Times, st.Values); err != nil {
 			return nil, err
 		}
@@ -389,7 +571,19 @@ func Execute(e Engine, st *Statement) (*Result, error) {
 			if startT == math.MinInt64 {
 				startT = 0
 			}
-			wins, err := query.WindowQuery(e, st.Sensor, startT, endT, st.Window, st.Agg)
+			var wins []query.WindowResult
+			var err error
+			if st.HasSelector {
+				// Cross-series GROUP BY WINDOW: every matching series
+				// aggregates in parallel, windows merge per start.
+				se, serr := seriesEngine(e)
+				if serr != nil {
+					return nil, serr
+				}
+				wins, err = se.AggregateSeriesGroup(st.Matchers, startT, endT, st.Window, st.Agg)
+			} else {
+				wins, err = query.WindowQuery(e, st.Sensor, startT, endT, st.Window, st.Agg)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -399,6 +593,33 @@ func Execute(e Engine, st *Statement) (*Result, error) {
 					strconv.FormatFloat(w.Value, 'g', -1, 64),
 					strconv.Itoa(w.Count),
 				})
+			}
+			return res, nil
+		}
+		if st.HasSelector {
+			se, err := seriesEngine(e)
+			if err != nil {
+				return nil, err
+			}
+			sps, err := se.QuerySeries(st.Matchers, st.MinTime, st.MaxTime)
+			if err != nil {
+				return nil, err
+			}
+			// Deterministic output: series in canonical order, points in
+			// time order within each; LIMIT caps the flattened rows.
+			shard.SortSeriesByCanonical(sps)
+			res := &Result{Columns: []string{"series", "time", "value"}}
+			for _, sp := range sps {
+				for _, tv := range sp.Points {
+					if st.Limit > 0 && len(res.Rows) >= st.Limit {
+						return res, nil
+					}
+					res.Rows = append(res.Rows, []string{
+						sp.Labels.String(),
+						strconv.FormatInt(tv.T, 10),
+						strconv.FormatFloat(tv.V, 'g', -1, 64),
+					})
+				}
 			}
 			return res, nil
 		}
