@@ -1,0 +1,288 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+	"repro/internal/stats"
+)
+
+// ingestResult aggregates one ingest run.
+type ingestResult struct {
+	conns, pipeline int
+	batches         int64 // batches acknowledged OK
+	points          int64
+	rejected        int64 // overload rejections (counted, not retried)
+	errs            int64 // non-overload failures
+	elapsed         time.Duration
+	p50Ms, p99Ms    float64
+}
+
+func (r ingestResult) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.points) / r.elapsed.Seconds()
+}
+
+func (r ingestResult) print() {
+	fmt.Printf("ingest: conns=%d pipeline=%d\n", r.conns, r.pipeline)
+	fmt.Printf("  %d batches (%d points) in %v -> %.0f points/s\n",
+		r.batches, r.points, r.elapsed.Round(time.Millisecond), r.throughput())
+	fmt.Printf("  latency: p50 %.3f ms, p99 %.3f ms\n", r.p50Ms, r.p99Ms)
+	fmt.Printf("  overload: %d rejected, %d errors\n", r.rejected, r.errs)
+}
+
+// runIngestLoad drives the write-only pipelined workload: conns
+// connections, each keeping up to `pipeline` InsertBatchAsync calls
+// in flight, opsPerConn batches of batchSize points per connection.
+// Per-batch latency is measured submit-to-ack; overload rejections
+// are counted and the batch is not retried, so the result shows the
+// server's backpressure honestly.
+func runIngestLoad(addr string, conns, pipeline, opsPerConn, batchSize int) (ingestResult, error) {
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	res := ingestResult{conns: conns, pipeline: pipeline}
+	clients := make([]*rpc.Client, conns)
+	for i := range clients {
+		c, err := rpc.Dial(addr)
+		if err != nil {
+			return res, fmt.Errorf("dial conn %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	var (
+		batches, points, rejected, errCount atomic.Int64
+		latMu                               sync.Mutex
+		latencies                           []float64
+	)
+	type inflight struct {
+		p     *rpc.PendingInsert
+		start time.Time
+		n     int
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *rpc.Client) {
+			defer wg.Done()
+			times := make([]int64, batchSize)
+			values := make([]float64, batchSize)
+			sensor := fmt.Sprintf("d%d.ingest", ci)
+			var local []float64
+			window := make([]inflight, 0, pipeline)
+			collect := func(f inflight) {
+				err := f.p.Wait()
+				switch {
+				case err == nil:
+					batches.Add(1)
+					points.Add(int64(f.n))
+					local = append(local, float64(time.Since(f.start).Microseconds())/1000)
+				case errors.Is(err, rpc.ErrOverloaded):
+					rejected.Add(1)
+				default:
+					errCount.Add(1)
+				}
+			}
+			for op := 0; op < opsPerConn; op++ {
+				for i := range times {
+					times[i] = int64(op*batchSize + i)
+					values[i] = float64(i)
+				}
+				if len(window) == pipeline {
+					collect(window[0])
+					window = window[1:]
+				}
+				window = append(window, inflight{
+					p: c.InsertBatchAsync(sensor, times, values), start: time.Now(), n: batchSize})
+			}
+			for _, f := range window {
+				collect(f)
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(ci, c)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.batches = batches.Load()
+	res.points = points.Load()
+	res.rejected = rejected.Load()
+	res.errs = errCount.Load()
+	res.p50Ms = stats.Percentile(latencies, 50)
+	res.p99Ms = stats.Percentile(latencies, 99)
+	return res, nil
+}
+
+// startIngestServer boots an in-process rpc server over a throwaway
+// engine for ingest runs without -addr.
+func startIngestServer(queueCap, workers int) (addr string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "tsbench-ingest-*")
+	if err != nil {
+		return "", nil, err
+	}
+	eng, err := engine.Open(engine.Config{Dir: dir, MemTableSize: 1 << 20})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := rpc.NewServer(eng)
+	if queueCap > 0 || workers > 0 {
+		srv.SetQueueBounds(queueCap, workers)
+	}
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	cleanup = func() {
+		srv.Close()
+		eng.Close()
+		os.RemoveAll(dir)
+	}
+	return addr, cleanup, nil
+}
+
+// runIngest is the `tsbench -conns N -pipeline D` mode: a write-only
+// pipelined-ingest benchmark against -addr, or an in-process server
+// when -addr is empty.
+func runIngest(cc cellConfig, conns, pipeline int) error {
+	addr := cc.addr
+	if addr == "" {
+		var cleanup func()
+		var err error
+		addr, cleanup, err = startIngestServer(0, 0)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+	}
+	opsPerConn := cc.ops / conns
+	if opsPerConn < 1 {
+		opsPerConn = 1
+	}
+	res, err := runIngestLoad(addr, conns, pipeline, opsPerConn, cc.batch)
+	if err != nil {
+		return err
+	}
+	res.print()
+	if res.errs > 0 {
+		return fmt.Errorf("ingest: %d batches failed with non-overload errors", res.errs)
+	}
+	return nil
+}
+
+// runIngestSmoke is the CI gate for the multiplexed front end, two
+// phases:
+//
+//	A. Pipelining pays: 64 connections running pipeline depth 8 must
+//	   beat the same connections at depth 1 by >= 3x on points/s.
+//	B. Overload rejects, never hangs: against a queue bounded to one
+//	   slot and one worker, a saturating burst must come back — some
+//	   mix of acks and overload rejections — well inside a deadline,
+//	   with at least one rejection and zero hard errors.
+func runIngestSmoke() error {
+	// Small batches keep the sync phase round-trip-bound — the regime
+	// pipelining exists for — and enough ops per connection make the
+	// timing window long enough to be stable in CI.
+	const (
+		conns      = 64
+		opsPerConn = 500
+		batchSize  = 2
+	)
+	addr, cleanup, err := startIngestServer(0, 0)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// Phase A — a warmup, then each depth measured twice keeping the
+	// better run, so a scheduler hiccup in either phase doesn't decide
+	// the gate.
+	if _, err := runIngestLoad(addr, 8, 4, 50, batchSize); err != nil { // warmup
+		return err
+	}
+	bestOf2 := func(depth int) (ingestResult, error) {
+		best, err := runIngestLoad(addr, conns, depth, opsPerConn, batchSize)
+		if err != nil {
+			return best, err
+		}
+		again, err := runIngestLoad(addr, conns, depth, opsPerConn, batchSize)
+		if err != nil {
+			return best, err
+		}
+		if again.throughput() > best.throughput() {
+			best = again
+		}
+		return best, nil
+	}
+	sync1, err := bestOf2(1)
+	if err != nil {
+		return err
+	}
+	sync1.print()
+	piped, err := bestOf2(8)
+	if err != nil {
+		return err
+	}
+	piped.print()
+	if sync1.errs > 0 || piped.errs > 0 {
+		return fmt.Errorf("ingest-smoke: hard errors (sync %d, piped %d)", sync1.errs, piped.errs)
+	}
+	if sync1.rejected > 0 || piped.rejected > 0 {
+		return fmt.Errorf("ingest-smoke: default queue rejected writes (sync %d, piped %d)", sync1.rejected, piped.rejected)
+	}
+	speedup := piped.throughput() / sync1.throughput()
+	fmt.Printf("ingest-smoke: pipeline speedup %.2fx\n", speedup)
+	if speedup < 3 {
+		return fmt.Errorf("ingest-smoke: pipeline 8 is only %.2fx pipeline 1, need >= 3x", speedup)
+	}
+
+	// Phase B — saturate a deliberately tiny queue.
+	tinyAddr, tinyCleanup, err := startIngestServer(1, 1)
+	if err != nil {
+		return err
+	}
+	defer tinyCleanup()
+	type outcome struct {
+		res ingestResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := runIngestLoad(tinyAddr, conns, 8, opsPerConn, 512)
+		done <- outcome{res, err}
+	}()
+	var overload ingestResult
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return out.err
+		}
+		overload = out.res
+		overload.print()
+		if overload.errs > 0 {
+			return fmt.Errorf("ingest-smoke: overload phase hit %d hard errors", overload.errs)
+		}
+		if overload.rejected == 0 {
+			return fmt.Errorf("ingest-smoke: queue=1 saturation produced zero overload rejections")
+		}
+	case <-time.After(120 * time.Second):
+		return fmt.Errorf("ingest-smoke: overload phase hung — server is blocking instead of rejecting")
+	}
+	fmt.Printf("ingest-smoke: PASS (%.2fx pipelining speedup; overload rejected %d and kept serving)\n",
+		speedup, overload.rejected)
+	return nil
+}

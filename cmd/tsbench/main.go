@@ -71,7 +71,18 @@ func main() {
 	metrics := flag.Int("metrics", 20, "metric label cardinality for the -labels workload")
 	pointsPerSeries := flag.Int("points-per-series", 64, "points written to each series in the -labels workload")
 	labelsSmoke := flag.Bool("labels-smoke", false, "run the label-index smoke check (selector fan-out over 1000 series vs per-sensor oracle, catalog replay across restart) and exit")
+	conns := flag.Int("conns", 0, "pipelined-ingest mode: connections to open (> 0 enables the mode; drives -addr, or an in-process server)")
+	pipeline := flag.Int("pipeline", 1, "pipelined-ingest mode: async inserts kept in flight per connection")
+	ingestSmoke := flag.Bool("ingest-smoke", false, "run the multiplexed-front-end smoke check (pipeline 8 vs 1 at 64 conns, overload reject-not-hang at queue=1) and exit")
 	flag.Parse()
+
+	if *ingestSmoke {
+		if err := runIngestSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *aggSmoke {
 		if err := runAggSmoke(); err != nil {
@@ -120,6 +131,13 @@ func main() {
 		blockPoints: *blockPoints, partitionDuration: *partitionDuration,
 		l0Files: *l0Files, levelBase: *levelBase,
 		levelGrowth: *levelGrowth, maxLevel: *maxLevel,
+	}
+	if *conns > 0 {
+		if err := runIngest(cell, *conns, *pipeline); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *labelsMode {
 		if err := runLabels(cell, *hosts, *metrics, *pointsPerSeries); err != nil {
@@ -299,6 +317,11 @@ func runCell(cc cellConfig) error {
 	fmt.Printf("  compaction: %d passes, %d bytes read (largest pass %d), %d partitions active, %d dropped\n",
 		res.CompactionPasses, res.CompactionBytesRead, res.MaxCompactionPassBytes,
 		res.PartitionsActive, res.PartitionsDropped)
+	if res.PipelinedConns+res.LegacyConns > 0 {
+		fmt.Printf("  front end: %d pipelined conns, %d legacy conns; queue cap %d (%d workers), %d enqueued, %d rejected\n",
+			res.PipelinedConns, res.LegacyConns, res.IngestQueueCap, res.IngestWorkers,
+			res.IngestEnqueued, res.IngestRejected)
+	}
 	if len(res.PerShard) > 0 {
 		fmt.Printf("  shards: %d\n", len(res.PerShard))
 		for i, s := range res.PerShard {

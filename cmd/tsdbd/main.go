@@ -8,17 +8,30 @@
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -algo backward
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -shards 0   # GOMAXPROCS shards
 //	tsdbd -addr 127.0.0.1:6668 -dir ./data -labels     # router + label index at one shard
+//	tsdbd -addr 127.0.0.1:6668 -dir ./data -http :8086 # + HTTP line-protocol gateway
+//
+// With -http the server also exposes the InfluxDB-style HTTP gateway
+// (POST /write line protocol, GET /query, GET /stats). Both front
+// ends share one bounded dispatch queue (-ingest-queue slots drained
+// by -ingest-workers), so overload rejects uniformly: the binary
+// protocol answers status "overloaded" with a retry-after hint, HTTP
+// answers 429 with a Retry-After header.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/httpgw"
+	"repro/internal/ingestq"
 	"repro/internal/rpc"
 	"repro/internal/shard"
 )
@@ -32,6 +45,10 @@ func main() {
 	walOn := flag.Bool("wal", false, "enable the write-ahead log")
 	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy: none, interval, or always (non-none implies -wal)")
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-exchange connection deadline for reads and writes (0 = none)")
+	httpAddr := flag.String("http", "", "HTTP gateway listen address, e.g. :8086 (empty = no gateway)")
+	ingestQueue := flag.Int("ingest-queue", 0, "bounded dispatch queue slots shared by the rpc and HTTP front ends (0 = default)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "ingest worker pool size shared by both front ends (0 = GOMAXPROCS)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle longer than this, reclaiming their goroutines (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown drain deadline on SIGTERM/SIGINT")
 	shards := flag.Int("shards", 1, "engine shards: 1 = single unsharded engine (legacy flat layout), N > 1 = hash-routed shards, 0 = GOMAXPROCS shards")
 	labelsOn := flag.Bool("labels", false, "run the shard router (with its label index) even at -shards 1; required for label-series workloads against a single shard")
@@ -96,14 +113,39 @@ func main() {
 		backend, closeBackend = router, router.Close
 		shardCount = router.ShardCount()
 	}
+	// One bounded dispatch queue feeds both front ends: pipelined RPC
+	// connections and HTTP /write submit to the same slots, so the two
+	// saturate — and shed load — together.
+	queue := ingestq.New(*ingestQueue, *ingestWorkers)
 	srv := rpc.NewServer(backend)
 	srv.SetTimeouts(*rpcTimeout, *rpcTimeout)
+	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetIngestQueue(queue)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("tsdbd listening on %s (algo=%s, memtable=%d, shards=%d, wal-sync=%s)\n", bound, *algo, *memtable, shardCount, *walSync)
+
+	var gw *httpgw.Gateway
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		gw = httpgw.New(backend, queue)
+		httpSrv = &http.Server{Handler: gw.Handler()}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsdbd: http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tsdbd http gateway on %s (queue=%d, workers=%d)\n",
+			ln.Addr(), queue.Stats().Capacity, queue.Stats().Workers)
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "tsdbd: http: %v\n", err)
+			}
+		}()
+	}
 
 	// SIGTERM/SIGINT trigger a graceful shutdown: drain in-flight
 	// requests, then close the engine so the final flush runs with no
@@ -112,6 +154,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("tsdbd: draining")
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "tsdbd: http shutdown: %v\n", err)
+		}
+		cancel()
+	}
 	drained := make(chan error, 1)
 	go func() { drained <- srv.Shutdown(*drainTimeout) }()
 	select {
@@ -122,6 +171,12 @@ func main() {
 	case <-sig:
 		fmt.Fprintln(os.Stderr, "tsdbd: forced shutdown")
 		srv.Close()
+	}
+	// Both front ends have stopped submitting; the shared queue can
+	// drain and close.
+	queue.Close()
+	if gw != nil {
+		gw.Close()
 	}
 	if err := closeBackend(); err != nil {
 		fmt.Fprintf(os.Stderr, "tsdbd: engine close: %v\n", err)

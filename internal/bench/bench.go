@@ -230,6 +230,14 @@ type Result struct {
 	SelectorQueries    int64
 	FanoutSeries       int64
 	MaxFanoutWidth     int
+	// Ingest front-end counters (bounded dispatch queue, connection
+	// modes), non-zero only when the target is an rpc server.
+	IngestQueueCap int
+	IngestWorkers  int
+	IngestEnqueued int64
+	IngestRejected int64
+	PipelinedConns int64
+	LegacyConns    int64
 	// PerShard holds the per-shard stats breakdown when the target is
 	// sharded (shard router in-process, or a sharded tsdbd over rpc);
 	// nil against an unsharded target.
@@ -461,6 +469,12 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.SelectorQueries = st.SelectorQueries
 	res.FanoutSeries = st.FanoutSeries
 	res.MaxFanoutWidth = st.MaxFanoutWidth
+	res.IngestQueueCap = st.IngestQueueCap
+	res.IngestWorkers = st.IngestWorkers
+	res.IngestEnqueued = st.IngestEnqueued
+	res.IngestRejected = st.IngestRejected
+	res.PipelinedConns = st.PipelinedConns
+	res.LegacyConns = st.LegacyConns
 	if ss, ok := target.(ShardStatser); ok {
 		per, err := ss.ShardStats()
 		if err != nil {

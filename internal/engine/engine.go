@@ -263,6 +263,22 @@ type Stats struct {
 	SelectorQueries    int64 // multi-series selector queries executed
 	FanoutSeries       int64 // per-series subqueries fanned out by those
 	MaxFanoutWidth     int   // widest single selector fan-out
+	// Ingest front-end counters. The bounded dispatch queue and the
+	// connection multiplexer live in the rpc server (shared with the
+	// HTTP gateway), so a bare engine always reports zeros; the server
+	// overlays them onto the aggregate snapshot it serves, the same
+	// way the router injects the label-index counters.
+	IngestQueueCap   int   // dispatch queue capacity
+	IngestQueueDepth int   // tasks waiting at snapshot time
+	IngestWorkers    int   // shared worker-pool size
+	IngestEnqueued   int64 // ops accepted into the queue (rpc + http)
+	IngestRejected   int64 // ops refused with overloaded/429
+	PipelinedConns   int64 // v7 tagged-frame connections accepted
+	LegacyConns      int64 // v<=6 one-in-flight connections accepted
+	// HTTP gateway counters, filled only by the gateway's own /stats
+	// view (the rpc stats payload does not carry them).
+	HTTPWrites int64 // line-protocol POST /write requests served
+	HTTPPoints int64 // points ingested through the gateway
 }
 
 // Engine is the storage engine. All methods are safe for concurrent

@@ -1,0 +1,113 @@
+package ingestq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunsSubmittedTasks: every accepted task runs exactly once.
+func TestRunsSubmittedTasks(t *testing.T) {
+	q := New(16, 2)
+	defer q.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		for {
+			err := q.TrySubmit(func() { ran.Add(1); wg.Done() })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran.Load())
+	}
+	st := q.Stats()
+	if st.Enqueued != 100 {
+		t.Fatalf("enqueued = %d, want 100", st.Enqueued)
+	}
+}
+
+// TestRejectsWhenFull: with one worker wedged and the single slot
+// occupied, further submits fail fast with ErrQueueFull and the
+// rejection is counted; nothing blocks.
+func TestRejectsWhenFull(t *testing.T) {
+	q := New(1, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue slot free again
+	if err := q.TrySubmit(func() {}); err != nil {
+		t.Fatalf("slot submit: %v", err)
+	}
+	// Worker busy + slot full: the next submit must reject immediately.
+	done := make(chan error, 1)
+	go func() { done <- q.TrySubmit(func() {}) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("expected ErrQueueFull, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("TrySubmit blocked on a full queue")
+	}
+	if got := q.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	close(release)
+}
+
+// TestRetryAfterScalesWithBacklog: the hint stays within its clamp
+// bounds and grows with queue depth.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	q := New(64, 1)
+	defer q.Close()
+	empty := q.RetryAfter()
+	if empty < minRetryAfter || empty > maxRetryAfter {
+		t.Fatalf("hint %v outside [%v, %v]", empty, minRetryAfter, maxRetryAfter)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	for i := 0; i < 64; i++ {
+		q.TrySubmit(func() { time.Sleep(time.Millisecond) })
+	}
+	deep := q.RetryAfter()
+	if deep < empty {
+		t.Fatalf("hint shrank with backlog: empty %v, deep %v", empty, deep)
+	}
+	close(release)
+}
+
+// TestCloseDrainsAndStops: Close waits for the backlog, and later
+// submits fail with ErrClosed.
+func TestCloseDrainsAndStops(t *testing.T) {
+	q := New(32, 2)
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := q.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if ran.Load() != 20 {
+		t.Fatalf("Close lost tasks: ran %d of 20", ran.Load())
+	}
+	if err := q.TrySubmit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	q.Close() // idempotent
+}

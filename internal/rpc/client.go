@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -14,29 +16,86 @@ import (
 )
 
 // Retry policy for idempotent calls: attempts after the first each
-// redial the server, with exponential backoff between them.
+// redial the server, with exponential backoff between them. Overload
+// rejections retry on the same (healthy) connection after the
+// server's retry-after hint plus jitter.
 const (
 	retryAttempts    = 4
 	retryBaseBackoff = 25 * time.Millisecond
 )
 
-// Client is a connection to a Server. One request runs at a time per
-// client; it satisfies bench.Target so benchmark workloads can run
-// client-server. Open several clients for concurrency.
+var errClientClosed = errors.New("rpc: client closed")
+
+// Client is a connection to a Server. It satisfies bench.Target so
+// benchmark workloads can run client-server. Against a version-7 peer
+// the connection is pipelined: any number of goroutines may issue
+// calls concurrently, each request carries a client-chosen tag, and a
+// demultiplexer routes tagged replies back to their callers — so N
+// requests overlap on one TCP connection instead of serializing on a
+// lock. Against an older peer the client degrades to the classic
+// one-request-at-a-time exchange (concurrent callers queue on a
+// mutex), so cross-version pairs keep working.
 //
 // Idempotent calls (Query, Latest, Stats, Aggregate, Flush, Settle)
 // transparently redial and retry with exponential backoff when the
 // transport fails — e.g. across a server restart or a dropped
-// connection. InsertBatch never retries: a write whose response was
-// lost may have been applied, and re-sending it is the caller's call.
+// connection. InsertBatch never retries a transport failure: a write
+// whose response was lost may have been applied, and re-sending it is
+// the caller's call. An overload rejection is different — the server
+// refused the request without executing it — so every call, writes
+// included, may retry after the server's hint.
 type Client struct {
-	addr          string
-	mu            sync.Mutex
-	conn          net.Conn
-	br            *bufio.Reader
-	bw            *bufio.Writer
+	addr string
+
+	mu            sync.Mutex // guards cc, closed, serverVersion; held across redial (single-flight)
+	cc            *clientConn
 	closed        bool
 	serverVersion byte
+}
+
+// callResult is one demuxed reply (or the connection's fatal error).
+type callResult struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+func (r callResult) decode() ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch r.status {
+	case StatusOK:
+		return r.payload, nil
+	case StatusOverloaded:
+		return nil, decodeOverloadPayload(r.payload)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, r.payload)
+	}
+}
+
+// clientConn is one live connection. In tagged mode a demux goroutine
+// owns the read side and a coalescing writer goroutine owns the write
+// side; requests register a tag in pend and wait on their channel. In
+// legacy mode there are no goroutines and reqMu serializes classic
+// write-then-read exchanges.
+type clientConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer // legacy mode only
+	tagged bool
+
+	reqMu sync.Mutex // legacy mode: one exchange at a time
+
+	pendMu  sync.Mutex
+	pend    map[uint32]chan callResult
+	nextTag uint32
+	errv    error // first fatal error; set once under pendMu
+
+	failed   atomic.Bool
+	failOnce sync.Once
+	stop     chan struct{} // closed by fail(); writer exit signal
+	send     chan []byte   // encoded frames for the writer; never closed
 }
 
 // Dial connects to a server and performs the protocol handshake. A
@@ -45,123 +104,360 @@ type Client struct {
 // misparsing frames later.
 func Dial(addr string) (*Client, error) {
 	c := &Client{addr: addr}
-	if err := c.redialLocked(); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.redialLocked(nil); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// redialLocked (re)establishes the connection and handshakes. The
-// caller holds c.mu (or, during Dial, is the sole owner).
-func (c *Client) redialLocked() error {
+// redialLocked replaces the current connection, unless a concurrent
+// caller already did: callers pass the conn they saw fail, and if
+// c.cc has moved past it the fresh conn is reused instead of dialing
+// again. c.mu is held across the dial, so exactly one redial runs at
+// a time and a losing racer can never leak a second socket.
+func (c *Client) redialLocked(failed *clientConn) (*clientConn, error) {
 	if c.closed {
-		return fmt.Errorf("rpc: client closed")
+		return nil, errClientClosed
 	}
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+	if c.cc != nil && c.cc != failed && !c.cc.failed.Load() {
+		return c.cc, nil // single-flight: someone else already redialed
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	if c.cc != nil {
+		c.cc.fail(errors.New("rpc: connection replaced"))
+		c.cc = nil
+	}
+	cc, ver, err := dialConn(c.addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	c.conn = conn
-	c.br = bufio.NewReaderSize(conn, 1<<16)
-	c.bw = bufio.NewWriterSize(conn, 1<<16)
-	if err := c.handshakeLocked(); err != nil {
-		conn.Close()
-		c.conn = nil
-		return err
-	}
-	return nil
+	c.cc = cc
+	c.serverVersion = ver
+	return cc, nil
 }
 
-// handshakeLocked exchanges magic + version with the server once per
-// connection.
-func (c *Client) handshakeLocked() error {
-	payload := append([]byte(nil), protocolMagic[:]...)
-	payload = append(payload, ProtocolVersion)
-	resp, err := c.exchangeLocked(OpHello, payload)
+// acquire returns the live connection, redialing a broken one.
+func (c *Client) acquire() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.cc != nil && !c.cc.failed.Load() {
+		return c.cc, nil
+	}
+	return c.redialLocked(c.cc)
+}
+
+// current returns the existing connection without ever redialing —
+// the write path uses it so a transport failure surfaces instead of
+// being papered over by a silent reconnect.
+func (c *Client) current() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.cc == nil {
+		return nil, errors.New("rpc: connection closed")
+	}
+	return c.cc, nil
+}
+
+// dialConn opens a TCP connection, handshakes (always untagged, on
+// any version), and — when both ends speak version 7+ — starts the
+// demux and writer goroutines that run the tagged connection.
+func dialConn(addr string) (*clientConn, byte, error) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		if errors.Is(err, ErrRemote) {
-			// A version-1 server answers hello with "unknown opcode".
-			return fmt.Errorf("rpc: handshake failed — server predates protocol version %d? (%v)", ProtocolVersion, err)
-		}
-		return fmt.Errorf("rpc: handshake failed: %w", err)
+		return nil, 0, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	hello := append([]byte(nil), protocolMagic[:]...)
+	hello = append(hello, ProtocolVersion)
+	if err := writeFrame(bw, OpHello, hello); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	status, resp, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("rpc: handshake failed: %w", err)
+	}
+	if status != StatusOK {
+		conn.Close()
+		// A version-1 server answers hello with "unknown opcode".
+		return nil, 0, fmt.Errorf("rpc: handshake failed — server predates protocol version %d? (%w: %s)", ProtocolVersion, ErrRemote, resp)
 	}
 	if len(resp) < 5 || string(resp[:4]) != string(protocolMagic[:]) {
-		return fmt.Errorf("rpc: handshake reply malformed (not a tsdb server?)")
+		conn.Close()
+		return nil, 0, fmt.Errorf("rpc: handshake reply malformed (not a tsdb server?)")
 	}
-	c.serverVersion = resp[4]
-	return nil
+	ver := resp[4]
+	cc := &clientConn{
+		conn:    conn,
+		br:      br,
+		bw:      bw,
+		pend:    make(map[uint32]chan callResult),
+		nextTag: 1,
+		stop:    make(chan struct{}),
+		send:    make(chan []byte, 64),
+	}
+	if min(ver, ProtocolVersion) >= pipelineVersion {
+		cc.tagged = true
+		go cc.demux()
+		go cc.writer()
+	}
+	return cc, ver, nil
 }
 
-// ServerVersion reports the protocol version the server announced in
-// the handshake.
-func (c *Client) ServerVersion() byte { return c.serverVersion }
+// fail shuts the connection down once: every pending call receives
+// err, the writer is stopped, and the socket closed. Safe to call
+// from any goroutine, any number of times.
+func (cc *clientConn) fail(err error) {
+	cc.failOnce.Do(func() {
+		cc.pendMu.Lock()
+		cc.errv = err
+		cc.failed.Store(true)
+		pend := cc.pend
+		cc.pend = nil
+		cc.pendMu.Unlock()
+		close(cc.stop)
+		cc.conn.Close()
+		for _, ch := range pend {
+			ch <- callResult{err: err}
+		}
+	})
+}
 
-// exchangeLocked performs one request/response exchange; c.mu held.
-func (c *Client) exchangeLocked(op byte, payload []byte) ([]byte, error) {
-	if c.conn == nil {
-		return nil, fmt.Errorf("rpc: connection closed")
+func (cc *clientConn) failErr() error {
+	cc.pendMu.Lock()
+	defer cc.pendMu.Unlock()
+	if cc.errv != nil {
+		return cc.errv
 	}
-	if err := writeFrame(c.bw, op, payload); err != nil {
+	return errors.New("rpc: connection closed")
+}
+
+// demux owns the read side of a tagged connection: it routes each
+// reply to the caller that registered its tag. A reply for a tag
+// nobody registered means the peer broke framing; the connection is
+// unusable then.
+func (cc *clientConn) demux() {
+	for {
+		status, tag, payload, err := readTaggedFrame(cc.br)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.pendMu.Lock()
+		ch, ok := cc.pend[tag]
+		delete(cc.pend, tag)
+		cc.pendMu.Unlock()
+		if !ok {
+			cc.fail(fmt.Errorf("rpc: reply for unknown tag %d", tag))
+			return
+		}
+		ch <- callResult{status: status, payload: payload}
+	}
+}
+
+// writer owns the write side of a tagged connection. It coalesces:
+// after taking one frame it drains whatever else is already queued
+// and issues a single Write, so 8 pipelined requests cost one
+// syscall, not eight.
+func (cc *clientConn) writer() {
+	var buf []byte
+	for {
+		select {
+		case frame := <-cc.send:
+			buf = append(buf[:0], frame...)
+		drain:
+			for {
+				select {
+				case more := <-cc.send:
+					buf = append(buf, more...)
+				default:
+					break drain
+				}
+			}
+			if _, err := cc.conn.Write(buf); err != nil {
+				cc.fail(err)
+				return
+			}
+		case <-cc.stop:
+			return
+		}
+	}
+}
+
+// start registers a tag and queues the encoded frame, returning the
+// channel the reply will arrive on. Tagged connections only.
+func (cc *clientConn) start(op byte, payload []byte) (chan callResult, error) {
+	ch := make(chan callResult, 1)
+	cc.pendMu.Lock()
+	if cc.pend == nil { // failed: registering now would strand ch forever
+		cc.pendMu.Unlock()
+		return nil, cc.failErr()
+	}
+	tag := cc.nextTag
+	cc.nextTag++
+	cc.pend[tag] = ch
+	cc.pendMu.Unlock()
+	frame, err := appendTaggedFrame(nil, op, tag, payload)
+	if err != nil {
+		cc.forget(tag)
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
+	select {
+	case cc.send <- frame:
+		return ch, nil
+	case <-cc.stop:
+		// fail() has already delivered (or is delivering) to ch.
+		return nil, cc.failErr()
 	}
-	status, resp, err := readFrame(c.br)
+}
+
+// forget unregisters a tag whose frame never made it to the wire.
+func (cc *clientConn) forget(tag uint32) {
+	cc.pendMu.Lock()
+	delete(cc.pend, tag)
+	cc.pendMu.Unlock()
+}
+
+// roundTrip performs one request/response exchange, pipelined or
+// legacy depending on the negotiated version.
+func (cc *clientConn) roundTrip(op byte, payload []byte) ([]byte, error) {
+	if !cc.tagged {
+		return cc.legacyExchange(op, payload)
+	}
+	ch, err := cc.start(op, payload)
 	if err != nil {
 		return nil, err
 	}
-	if status != 0 {
+	return (<-ch).decode()
+}
+
+// legacyExchange is the classic one-in-flight exchange used against
+// version <= 6 peers: write a frame, read the next frame as its
+// reply, with concurrent callers serialized on reqMu.
+func (cc *clientConn) legacyExchange(op byte, payload []byte) ([]byte, error) {
+	cc.reqMu.Lock()
+	defer cc.reqMu.Unlock()
+	if cc.failed.Load() {
+		return nil, cc.failErr()
+	}
+	if err := writeFrame(cc.bw, op, payload); err != nil {
+		cc.fail(err)
+		return nil, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(err)
+		return nil, err
+	}
+	status, resp, err := readFrame(cc.br)
+	if err != nil {
+		cc.fail(err)
+		return nil, err
+	}
+	if status != StatusOK {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, resp)
 	}
 	return resp, nil
 }
 
-// call performs one request/response exchange with no retry (used for
-// non-idempotent operations).
-func (c *Client) call(op byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.exchangeLocked(op, payload)
+func (cc *clientConn) close() {
+	cc.fail(errClientClosed)
 }
 
-// callIdempotent is call plus a redial-and-retry loop with exponential
-// backoff. Only transport failures retry; ErrRemote means the server
-// received and answered the request, so it is returned as-is.
-func (c *Client) callIdempotent(op byte, payload []byte) ([]byte, error) {
+// ServerVersion reports the protocol version the server announced in
+// the handshake.
+func (c *Client) ServerVersion() byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.serverVersion
+}
+
+// overloadBackoff turns an overload rejection into a sleep: the
+// server's retry-after hint with jitter in [hint/2, hint], so a herd
+// of rejected clients doesn't return in lockstep.
+func overloadBackoff(err error) time.Duration {
+	hint := 50 * time.Millisecond
+	var oe *OverloadedError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		hint = oe.RetryAfter
+	}
+	half := int64(hint / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// call performs one exchange with no transport retry (used for
+// non-idempotent operations). Overload rejections — where the server
+// explicitly did not execute the request — retry after the server's
+// hint; an actual transport failure surfaces immediately and the
+// connection is NOT redialed, so a lost write is never silently
+// re-sent.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.current()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cc.roundTrip(op, payload)
+		if err != nil && errors.Is(err, ErrOverloaded) && attempt+1 < retryAttempts {
+			time.Sleep(overloadBackoff(err))
+			continue
+		}
+		return resp, err
+	}
+}
+
+// callIdempotent is call plus a redial-and-retry loop with
+// exponential backoff. Transport failures redial; overload
+// rejections back off on the same connection; ErrRemote means the
+// server received and answered the request, so it is returned as-is.
+func (c *Client) callIdempotent(op byte, payload []byte) ([]byte, error) {
 	backoff := retryBaseBackoff
 	var lastErr error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
-		if c.closed {
-			return nil, fmt.Errorf("rpc: client closed")
-		}
 		if attempt > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
-			if err := c.redialLocked(); err != nil {
-				lastErr = err
-				continue
-			}
 		}
-		resp, err := c.exchangeLocked(op, payload)
+		cc, err := c.acquire()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := cc.roundTrip(op, payload)
 		if err == nil || errors.Is(err, ErrRemote) {
 			return resp, err
+		}
+		if errors.Is(err, ErrOverloaded) {
+			lastErr = err
+			time.Sleep(overloadBackoff(err))
+			backoff = retryBaseBackoff // connection is healthy; don't escalate
+			continue
 		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("rpc: %d attempts failed: %w", retryAttempts, lastErr)
 }
 
-// InsertBatch implements bench.Target.
-func (c *Client) InsertBatch(sensor string, times []int64, values []float64) error {
+// encodeInsert builds the OpInsert payload shared by the sync and
+// async insert paths.
+func encodeInsert(sensor string, times []int64, values []float64) ([]byte, error) {
 	if len(times) != len(values) {
-		return fmt.Errorf("rpc: batch shape mismatch")
+		return nil, fmt.Errorf("rpc: batch shape mismatch")
 	}
 	payload := appendString(nil, sensor)
 	payload = binary.AppendUvarint(payload, uint64(len(times)))
@@ -169,8 +465,65 @@ func (c *Client) InsertBatch(sensor string, times []int64, values []float64) err
 		payload = binary.AppendVarint(payload, times[i])
 		payload = appendFloat64(payload, values[i])
 	}
-	_, err := c.call(OpInsert, payload)
+	return payload, nil
+}
+
+// InsertBatch implements bench.Target.
+func (c *Client) InsertBatch(sensor string, times []int64, values []float64) error {
+	payload, err := encodeInsert(sensor, times, values)
+	if err != nil {
+		return err
+	}
+	_, err = c.call(OpInsert, payload)
 	return err
+}
+
+// PendingInsert is an in-flight InsertBatchAsync. Wait blocks until
+// the reply arrives and returns the call's error; it must be called
+// exactly once, from one goroutine.
+type PendingInsert struct {
+	ch  chan callResult
+	err error // resolved immediately (legacy conn, encode/enqueue failure)
+}
+
+// Wait blocks for the server's reply. An overload rejection comes
+// back as an *OverloadedError (errors.Is ErrOverloaded) without any
+// internal retry, so callers pipelining at depth can count rejects
+// and pace themselves.
+func (p *PendingInsert) Wait() error {
+	if p.ch == nil {
+		return p.err
+	}
+	res := <-p.ch
+	p.ch = nil
+	_, p.err = res.decode()
+	return p.err
+}
+
+// InsertBatchAsync issues an insert without waiting for the reply,
+// returning a PendingInsert to collect it later. On a pipelined
+// (version-7) connection up to the server's in-flight budget of
+// inserts can overlap on one connection; on a legacy connection this
+// degrades to a synchronous insert that is already resolved when it
+// returns.
+func (c *Client) InsertBatchAsync(sensor string, times []int64, values []float64) *PendingInsert {
+	payload, err := encodeInsert(sensor, times, values)
+	if err != nil {
+		return &PendingInsert{err: err}
+	}
+	cc, err := c.current()
+	if err != nil {
+		return &PendingInsert{err: err}
+	}
+	if !cc.tagged {
+		_, err := cc.legacyExchange(OpInsert, payload)
+		return &PendingInsert{err: err}
+	}
+	ch, err := cc.start(OpInsert, payload)
+	if err != nil {
+		return &PendingInsert{err: err}
+	}
+	return &PendingInsert{ch: ch}
 }
 
 // Query returns the records in [minT, maxT] for sensor.
@@ -247,8 +600,9 @@ func (c *Client) ShardStats() ([]engine.Stats, error) {
 // version-2 payload carries no durability extension (the durability
 // counters stay zero), a version-3 payload carries no pruning
 // extension, a version-4 payload carries no read-amplification
-// extension, and a version-5 payload carries no label-index extension
-// (the missing counters stay zero).
+// extension, a version-5 payload carries no label-index extension,
+// and a version-6 payload carries no ingest front-end extension (the
+// missing counters stay zero).
 func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 	resp, err := c.callIdempotent(OpStats, nil)
 	if err != nil {
@@ -321,6 +675,17 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 			return st, per, err
 		}
 	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-6 payload: no ingest extension
+	}
+	if err := p.ingestStats(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.ingestStats(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
 	return st, per, nil
 }
 
@@ -373,15 +738,16 @@ func (c *Client) Aggregate(sensor string, startT, endT, window int64, agg query.
 	return out, nil
 }
 
-// Close closes the connection. Further calls fail without redialing.
+// Close closes the connection. Pending pipelined calls fail; further
+// calls fail without redialing.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
+	if c.cc == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	c.cc.close()
+	c.cc = nil
+	return nil
 }

@@ -2,13 +2,16 @@ package rpc
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/query"
 	"repro/internal/shard"
 )
 
@@ -233,6 +236,235 @@ func TestLegacyStatsShapeParsed(t *testing.T) {
 	}
 	if st != want {
 		t.Fatalf("legacy stats = %+v, want %+v", st, want)
+	}
+}
+
+// legacyRawClient speaks the version <= 6 wire format by hand: an
+// untagged hello announcing the given version, then untagged
+// request/response exchanges. It stands in for an old client binary
+// when testing a new server.
+type legacyRawClient struct {
+	t  *testing.T
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func dialLegacyRaw(t *testing.T, addr string, version byte) (*legacyRawClient, byte) {
+	t.Helper()
+	_, br, bw := rawDial(t, addr)
+	lc := &legacyRawClient{t: t, br: br, bw: bw}
+	hello := append(append([]byte(nil), protocolMagic[:]...), version)
+	status, resp := rawCall(t, br, bw, OpHello, hello)
+	if status != StatusOK {
+		t.Fatalf("legacy hello refused: %s", resp)
+	}
+	if len(resp) < 5 || string(resp[:4]) != string(protocolMagic[:]) {
+		t.Fatalf("malformed hello reply: %v", resp)
+	}
+	return lc, resp[4]
+}
+
+func (lc *legacyRawClient) call(op byte, payload []byte) (byte, []byte) {
+	lc.t.Helper()
+	return rawCall(lc.t, lc.br, lc.bw, op, payload)
+}
+
+// TestV6ClientAgainstV7Server drives every op type through a
+// hand-rolled version-6 client against the current server: the server
+// must degrade that connection to untagged one-in-flight framing, so
+// deployed old binaries keep working against an upgraded server.
+func TestV6ClientAgainstV7Server(t *testing.T) {
+	_, addr := startServer(t)
+	lc, serverVersion := dialLegacyRaw(t, addr, 6)
+	if serverVersion != ProtocolVersion {
+		t.Fatalf("server announced version %d, want %d", serverVersion, ProtocolVersion)
+	}
+
+	// OpInsert
+	ins := appendString(nil, "s")
+	ins = binary.AppendUvarint(ins, 3)
+	for i, tt := range []int64{10, 20, 30} {
+		ins = binary.AppendVarint(ins, tt)
+		ins = appendFloat64(ins, float64(i))
+	}
+	if status, resp := lc.call(OpInsert, ins); status != StatusOK {
+		t.Fatalf("legacy insert failed: %s", resp)
+	}
+	// OpFlush, OpWait
+	if status, resp := lc.call(OpFlush, nil); status != StatusOK {
+		t.Fatalf("legacy flush failed: %s", resp)
+	}
+	if status, resp := lc.call(OpWait, nil); status != StatusOK {
+		t.Fatalf("legacy wait failed: %s", resp)
+	}
+	// OpQuery
+	qp := appendString(nil, "s")
+	qp = binary.AppendVarint(qp, 0)
+	qp = binary.AppendVarint(qp, 100)
+	status, resp := lc.call(OpQuery, qp)
+	if status != StatusOK {
+		t.Fatalf("legacy query failed: %s", resp)
+	}
+	p := &payloadReader{b: resp}
+	if n, err := p.uvarint(); err != nil || n != 3 {
+		t.Fatalf("legacy query returned %d points (%v), want 3", n, err)
+	}
+	// OpLatest
+	status, resp = lc.call(OpLatest, appendString(nil, "s"))
+	if status != StatusOK {
+		t.Fatalf("legacy latest failed: %s", resp)
+	}
+	if len(resp) < 1 || resp[0] != 1 {
+		t.Fatalf("legacy latest found nothing: %v", resp)
+	}
+	// OpAgg: avg over [0, 40) window 40 -> one window, value 1.
+	ap := appendString(nil, "s")
+	for _, v := range []int64{0, 40, 40, int64(query.Avg)} {
+		ap = binary.AppendVarint(ap, v)
+	}
+	status, resp = lc.call(OpAgg, ap)
+	if status != StatusOK {
+		t.Fatalf("legacy agg failed: %s", resp)
+	}
+	p = &payloadReader{b: resp}
+	if n, err := p.uvarint(); err != nil || n != 1 {
+		t.Fatalf("legacy agg returned %d windows (%v), want 1", n, err)
+	}
+	// OpStats: the v7 payload shape decodes with the current reader and
+	// carries the ingest extension even over a legacy connection.
+	status, resp = lc.call(OpStats, nil)
+	if status != StatusOK {
+		t.Fatalf("legacy stats failed: %s", resp)
+	}
+	p = &payloadReader{b: resp}
+	st, err := p.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SeqPoints+st.UnseqPoints != 3 {
+		t.Fatalf("stats points = %d, want 3", st.SeqPoints+st.UnseqPoints)
+	}
+}
+
+// v6ServerOver serves the version <= 6 wire format over the current
+// dispatch logic: untagged frames, announced version 6. It stands in
+// for an old server binary when testing the new pipelined client.
+func v6ServerOver(t *testing.T, backend Backend) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv := NewServer(backend)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				for {
+					op, payload, err := readFrame(br)
+					if err != nil {
+						return
+					}
+					var resp []byte
+					var derr error
+					if op == OpHello {
+						resp = append(append([]byte(nil), protocolMagic[:]...), 6)
+					} else {
+						resp, derr = srv.dispatch(op, payload)
+					}
+					status := StatusOK
+					if derr != nil {
+						status, resp = StatusError, []byte(derr.Error())
+					}
+					if writeFrame(bw, status, resp) != nil || bw.Flush() != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestV7ClientAgainstV6Server drives every client method against a
+// version-6 server: the client must fall back to one-in-flight
+// untagged exchanges, including for concurrent callers and for
+// InsertBatchAsync (which degrades to a synchronous insert).
+func TestV7ClientAgainstV6Server(t *testing.T) {
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	addr := v6ServerOver(t, e)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ServerVersion(); v != 6 {
+		t.Fatalf("server version = %d, want 6", v)
+	}
+	if err := c.InsertBatch("s", []int64{10, 20, 30}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.InsertBatchAsync("s", []int64{40}, []float64{3}); p.Wait() != nil {
+		t.Fatalf("async insert on legacy conn: %v", p.Wait())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := c.Query("s", 0, 100)
+	if err != nil || len(pts) != 4 {
+		t.Fatalf("query = %d points, %v; want 4", len(pts), err)
+	}
+	if n, err := c.QueryCount("s", 0, 100); err != nil || n != 4 {
+		t.Fatalf("query count = %d, %v", n, err)
+	}
+	lt, ok, err := c.Latest("s")
+	if err != nil || !ok || lt != 40 {
+		t.Fatalf("latest = %d/%v/%v", lt, ok, err)
+	}
+	ws, err := c.Aggregate("s", 0, 50, 50, query.Avg)
+	if err != nil || len(ws) != 1 || ws[0].Count != 4 {
+		t.Fatalf("aggregate = %+v, %v", ws, err)
+	}
+	st, _, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SeqPoints+st.UnseqPoints != 4 {
+		t.Fatalf("stats points = %d, want 4", st.SeqPoints+st.UnseqPoints)
+	}
+
+	// Concurrent idempotent calls serialize on the legacy exchange
+	// instead of corrupting frames.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Query("s", 0, 100); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

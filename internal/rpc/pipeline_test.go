@@ -1,0 +1,445 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ingestq"
+)
+
+// blockingBackend wedges every InsertBatch until release is closed,
+// so overload tests can hold the worker pool busy deterministically.
+// All other ops answer immediately.
+type blockingBackend struct {
+	started chan struct{} // closed when the first insert begins
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingBackend() *blockingBackend {
+	return &blockingBackend{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (b *blockingBackend) InsertBatch(string, []int64, []float64) error {
+	b.once.Do(func() { close(b.started) })
+	<-b.release
+	return nil
+}
+func (b *blockingBackend) Query(string, int64, int64) ([]engine.TV, error) { return nil, nil }
+func (b *blockingBackend) LatestTime(string) (int64, bool)                 { return 0, false }
+func (b *blockingBackend) Stats() engine.Stats                             { return engine.Stats{} }
+func (b *blockingBackend) Flush()                                          {}
+func (b *blockingBackend) WaitFlushes()                                    {}
+
+// TestPipelinedConcurrentCalls hammers one connection from many
+// goroutines: the tag table must route every reply to its caller with
+// no cross-talk, and the server must report the connection as
+// pipelined.
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 16
+	const opsEach = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sensor := fmt.Sprintf("s%d", g)
+			for i := 0; i < opsEach; i++ {
+				if err := c.InsertBatch(sensor, []int64{int64(i)}, []float64{float64(g)}); err != nil {
+					errs <- fmt.Errorf("insert: %w", err)
+					return
+				}
+			}
+			pts, err := c.Query(sensor, 0, int64(opsEach))
+			if err != nil {
+				errs <- fmt.Errorf("query: %w", err)
+				return
+			}
+			if len(pts) != opsEach {
+				errs <- fmt.Errorf("sensor %s: got %d points, want %d", sensor, len(pts), opsEach)
+				return
+			}
+			for _, p := range pts {
+				if p.V != float64(g) {
+					errs <- fmt.Errorf("sensor %s: cross-talk, value %v", sensor, p.V)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PipelinedConns < 1 || st.LegacyConns != 0 {
+		t.Fatalf("conn counters: pipelined=%d legacy=%d", st.PipelinedConns, st.LegacyConns)
+	}
+	if st.IngestEnqueued == 0 {
+		t.Fatalf("pipelined ops bypassed the dispatch queue")
+	}
+}
+
+// TestInsertBatchAsyncPipelines issues a window of async inserts
+// before collecting any reply, then confirms every point landed.
+func TestInsertBatchAsyncPipelines(t *testing.T) {
+	e, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const depth = 32
+	pending := make([]*PendingInsert, depth)
+	for i := range pending {
+		pending[i] = c.InsertBatchAsync("a", []int64{int64(i)}, []float64{1})
+	}
+	for i, p := range pending {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("async insert %d: %v", i, err)
+		}
+	}
+	e.Flush()
+	e.WaitFlushes()
+	pts, err := c.Query("a", 0, depth)
+	if err != nil || len(pts) != depth {
+		t.Fatalf("query = %d points, %v; want %d", len(pts), err, depth)
+	}
+}
+
+// TestOverloadedRPC pins the overload path end to end: with a
+// one-slot queue and its single worker wedged, the third in-flight
+// insert must come back as StatusOverloaded — carrying a retry-after
+// hint, not executing, and leaving the connection healthy.
+func TestOverloadedRPC(t *testing.T) {
+	b := newBlockingBackend()
+	srv := NewServer(b)
+	srv.SetQueueBounds(1, 1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p1 := c.InsertBatchAsync("s", []int64{1}, []float64{1})
+	<-b.started                                             // worker is now wedged inside p1
+	p2 := c.InsertBatchAsync("s", []int64{2}, []float64{2}) // occupies the only queue slot
+	p3 := c.InsertBatchAsync("s", []int64{3}, []float64{3}) // nowhere to go
+
+	err = p3.Wait()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third insert: %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("overload carries no retry-after hint: %v", err)
+	}
+
+	close(b.release)
+	if err := p1.Wait(); err != nil {
+		t.Fatalf("wedged insert: %v", err)
+	}
+	if err := p2.Wait(); err != nil {
+		t.Fatalf("queued insert: %v", err)
+	}
+	// The connection survived the rejection: a fresh call works.
+	if _, err := c.Query("s", 0, 10); err != nil {
+		t.Fatalf("connection dead after overload: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestRejected < 1 {
+		t.Fatalf("IngestRejected = %d, want >= 1", st.IngestRejected)
+	}
+}
+
+// TestOverloadRetriesInIdempotentPath: an idempotent call hitting a
+// wedged queue backs off on the hint and succeeds once capacity
+// returns, without redialing.
+func TestOverloadRetriesInIdempotentPath(t *testing.T) {
+	b := newBlockingBackend()
+	srv := NewServer(b)
+	srv.SetQueueBounds(1, 1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.InsertBatchAsync("s", []int64{1}, []float64{1})
+	<-b.started
+	c.InsertBatchAsync("s", []int64{2}, []float64{2})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(b.release)
+	}()
+	if err := c.Flush(); err != nil {
+		t.Fatalf("idempotent call did not recover from overload: %v", err)
+	}
+	if st, _ := c.Stats(); st.PipelinedConns != 1 {
+		t.Fatalf("overload recovery redialed: %d conns", st.PipelinedConns)
+	}
+}
+
+// TestRedialSingleFlight (the redial-race fix): when the server
+// restarts, many concurrent idempotent calls must funnel through ONE
+// reconnect — the replacement server sees a single connection, and no
+// loser socket leaks.
+func TestRedialSingleFlight(t *testing.T) {
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := NewServer(e)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Query("s", 0, 10); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PipelinedConns != 1 {
+		t.Fatalf("redial opened %d connections to the new server, want 1", st.PipelinedConns)
+	}
+}
+
+// TestIdleSweepClosesIdleConns: with an idle timeout armed, a
+// connection with nothing in flight is closed by the sweeper, while
+// the Dial-level client transparently redials on its next call.
+func TestIdleSweepClosesIdleConns(t *testing.T) {
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e)
+	srv.SetIdleTimeout(100 * time.Millisecond)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// A raw handshaken connection left idle gets hung up on.
+	conn, br, bw := rawDial(t, addr)
+	hello := append(append([]byte(nil), protocolMagic[:]...), ProtocolVersion)
+	if status, _ := rawCall(t, br, bw, OpHello, hello); status != StatusOK {
+		t.Fatal("handshake refused")
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, _, _, err := readTaggedFrame(br); err == nil {
+		t.Fatal("idle connection was not closed by the sweeper")
+	} else if ne, ok := err.(interface{ Timeout() bool }); ok && ne.Timeout() {
+		t.Fatal("sweeper never closed the idle connection (local deadline hit instead)")
+	}
+
+	// The real client rides it out: its next idempotent call redials.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("s", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, err := c.Query("s", 0, 10); err != nil {
+		t.Fatalf("query after idle sweep: %v", err)
+	}
+}
+
+// TestPerFrameDeadlineReset: a session whose individual exchanges all
+// beat the read timeout survives indefinitely, even once the total
+// session time exceeds it — the deadline must reset per frame, not
+// run once per connection.
+func TestPerFrameDeadlineReset(t *testing.T) {
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e)
+	srv.SetTimeouts(200*time.Millisecond, time.Second)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 6; i++ { // 6 x 100ms = 3x the read timeout
+		if err := c.InsertBatch("s", []int64{int64(i)}, []float64{1}); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterDrain: after pipelined load, closing the
+// clients and draining the server returns the process to its
+// goroutine baseline — no reader, writer, demux, worker, or sweeper
+// goroutines left behind.
+func TestNoGoroutineLeakAfterDrain(t *testing.T) {
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	// Warm the engine's background machinery before the baseline.
+	if err := e.InsertBatch("warm", []int64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	e.WaitFlushes()
+	baseline := runtime.NumGoroutine()
+
+	srv := NewServer(e)
+	srv.SetIdleTimeout(time.Minute) // exercise the sweeper's shutdown too
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.InsertBatch("leak", []int64{int64(i)}, []float64{1})
+			}
+			c.Query("leak", 0, 50)
+		}(c)
+	}
+	wg.Wait()
+	for _, c := range clients {
+		c.Close()
+	}
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSharedQueueAcrossServers: two servers sharing one ingestq see a
+// single overload domain — counters accumulate across both.
+func TestSharedQueueAcrossServers(t *testing.T) {
+	q := ingestq.New(64, 2)
+	defer q.Close()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1000, SyncFlush: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		srv := NewServer(e)
+		srv.SetIngestQueue(q)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertBatch("s", []int64{1}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if got := q.Stats().Enqueued; got < 2 {
+		t.Fatalf("shared queue saw %d ops across two servers, want >= 2", got)
+	}
+}

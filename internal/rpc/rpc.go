@@ -42,11 +42,33 @@
 //	    queries, fan-out series, max fan-out width — all varints) for
 //	    the aggregate, then one per shard (per-shard blocks are zeros:
 //	    the inverted series index is store-level)
+//	7 — tagged frames: when BOTH peers announce version >= 7 in the
+//	    handshake, every frame after the hello exchange carries a
+//	    4-byte little-endian tag between the kind byte and the
+//	    payload:
+//
+//	    request:  uint32 length | byte opcode | uint32 tag | payload
+//	    response: uint32 length | byte status | uint32 tag | payload
+//
+//	    The tag is chosen by the client and echoed by the server, so
+//	    many requests can be pipelined on one connection and answered
+//	    out of order. A mixed-version pair (either side <= 6) keeps
+//	    the untagged framing and one-in-flight semantics — the
+//	    handshake itself is always untagged. Version 7 also adds
+//	    response status 2 ("overloaded"): the server's bounded
+//	    dispatch queue was full, the request was NOT executed, and
+//	    the payload carries a uvarint retry-after hint in
+//	    milliseconds. Finally, OpStats appends an ingest-front-end
+//	    extension after the label-index blocks: one block (queue
+//	    capacity, queue depth, workers, ops enqueued, ops rejected,
+//	    pipelined connections, legacy connections — all varints) for
+//	    the aggregate, then one per shard (per-shard blocks are
+//	    zeros: the dispatch queue is server-level).
 //
 // Extensions are strictly trailing, so a newer client reads an older
 // payload by what remains: the per-shard, durability, pruning,
-// read-amplification and label-index extensions are each detected by
-// remaining payload bytes.
+// read-amplification, label-index and ingest extensions are each
+// detected by remaining payload bytes.
 package rpc
 
 import (
@@ -55,6 +77,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -73,7 +96,20 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 6
+const ProtocolVersion = 7
+
+// Response status bytes. Versions <= 6 know only OK and Error;
+// StatusOverloaded is only ever sent on a version-7 tagged connection
+// (legacy connections dispatch inline and cannot overload the queue).
+const (
+	StatusOK         byte = 0
+	StatusError      byte = 1
+	StatusOverloaded byte = 2
+)
+
+// pipelineVersion is the first protocol version speaking tagged
+// frames; a connection runs tagged iff min(client, server) >= this.
+const pipelineVersion = 7
 
 // protocolMagic opens every handshake payload. Four printable bytes so
 // an accidental connection from an unrelated protocol is rejected with
@@ -86,6 +122,28 @@ const MaxFrame = 16 << 20
 
 // ErrRemote wraps an error string returned by the server.
 var ErrRemote = errors.New("rpc: remote error")
+
+// ErrOverloaded is the sentinel behind every overload rejection: the
+// server's bounded dispatch queue was full and the request was NOT
+// executed, so retrying is always safe (including writes). Check with
+// errors.Is; errors.As against *OverloadedError recovers the server's
+// retry-after hint.
+var ErrOverloaded = errors.New("rpc: server overloaded")
+
+// OverloadedError carries the server's retry-after hint alongside the
+// ErrOverloaded sentinel.
+type OverloadedError struct {
+	// RetryAfter is the server's estimate of when queue capacity is
+	// likely back — a hint, not a guarantee.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("rpc: server overloaded; retry after %v", e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, kind byte, payload []byte) error {
@@ -117,6 +175,72 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
+}
+
+// writeTaggedFrame sends one version-7 tagged frame: kind byte, then a
+// 4-byte little-endian tag, then the payload.
+func writeTaggedFrame(w io.Writer, kind byte, tag uint32, payload []byte) error {
+	if len(payload)+5 > MaxFrame {
+		return fmt.Errorf("rpc: frame too large: %d", len(payload))
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+5))
+	hdr[4] = kind
+	binary.LittleEndian.PutUint32(hdr[5:9], tag)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// appendTaggedFrame encodes the same wire bytes as writeTaggedFrame
+// into b, for senders that batch frames before one Write.
+func appendTaggedFrame(b []byte, kind byte, tag uint32, payload []byte) ([]byte, error) {
+	if len(payload)+5 > MaxFrame {
+		return b, fmt.Errorf("rpc: frame too large: %d", len(payload))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)+5))
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, tag)
+	return append(b, payload...), nil
+}
+
+// readTaggedFrame reads one tagged frame, returning its kind byte, tag
+// and payload.
+func readTaggedFrame(r io.Reader) (byte, uint32, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 5 || n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("rpc: invalid tagged frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, err
+	}
+	return buf[0], binary.LittleEndian.Uint32(buf[1:5]), buf[5:], nil
+}
+
+// encodeOverloadPayload/decodeOverloadPayload carry the retry-after
+// hint of a StatusOverloaded response as uvarint milliseconds.
+func encodeOverloadPayload(hint time.Duration) []byte {
+	ms := hint.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return binary.AppendUvarint(nil, uint64(ms))
+}
+
+func decodeOverloadPayload(payload []byte) *OverloadedError {
+	p := &payloadReader{b: payload}
+	ms, err := p.uvarint()
+	if err != nil || ms == 0 {
+		ms = 50 // malformed hint: fall back to a sane default
+	}
+	return &OverloadedError{RetryAfter: time.Duration(ms) * time.Millisecond}
 }
 
 // Payload encoding helpers.
@@ -388,6 +512,44 @@ func (p *payloadReader) indexStats(st *engine.Stats) error {
 	}
 	st.MaxFanoutWidth = int(v)
 	return nil
+}
+
+// appendIngestStats encodes the version-7 ingest-front-end counters
+// for one stats snapshot. The block trails the label-index extension
+// so older clients, which stop reading earlier, are unaffected.
+func appendIngestStats(b []byte, st engine.Stats) []byte {
+	b = binary.AppendVarint(b, int64(st.IngestQueueCap))
+	b = binary.AppendVarint(b, int64(st.IngestQueueDepth))
+	b = binary.AppendVarint(b, int64(st.IngestWorkers))
+	b = binary.AppendVarint(b, st.IngestEnqueued)
+	b = binary.AppendVarint(b, st.IngestRejected)
+	b = binary.AppendVarint(b, st.PipelinedConns)
+	b = binary.AppendVarint(b, st.LegacyConns)
+	return b
+}
+
+// ingestStats decodes one ingest-front-end block into st (the inverse
+// of appendIngestStats).
+func (p *payloadReader) ingestStats(st *engine.Stats) error {
+	for _, dst := range []*int{&st.IngestQueueCap, &st.IngestQueueDepth, &st.IngestWorkers} {
+		v, err := p.varint()
+		if err != nil {
+			return err
+		}
+		*dst = int(v)
+	}
+	var err error
+	if st.IngestEnqueued, err = p.varint(); err != nil {
+		return err
+	}
+	if st.IngestRejected, err = p.varint(); err != nil {
+		return err
+	}
+	if st.PipelinedConns, err = p.varint(); err != nil {
+		return err
+	}
+	st.LegacyConns, err = p.varint()
+	return err
 }
 
 // readAmp decodes one read-amplification block into st (the inverse

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/ingestq"
 	"repro/internal/query"
 )
 
@@ -33,34 +35,97 @@ type shardedBackend interface {
 	StatsAll() (engine.Stats, []engine.Stats)
 }
 
-// Server exposes a backend over TCP.
+// maxConnInFlight bounds how many ops one pipelined connection may
+// have outstanding. Past it the server answers StatusOverloaded, so a
+// single runaway client cannot monopolize the dispatch queue or force
+// unbounded reply buffering.
+const maxConnInFlight = 1024
+
+// servConn is the per-connection bookkeeping the idle sweep and the
+// drain logic read.
+type servConn struct {
+	conn       net.Conn
+	lastActive atomic.Int64 // unix nanos of the last frame in or out
+	inFlight   atomic.Int64 // ops accepted but not yet answered
+}
+
+func (sc *servConn) touch() { sc.lastActive.Store(time.Now().UnixNano()) }
+
+// Server exposes a backend over TCP. Connections negotiating protocol
+// version >= 7 are multiplexed: a per-connection reader goroutine
+// feeds the bounded dispatch queue, a shared worker pool executes ops,
+// and a single per-connection writer goroutine serializes tagged
+// replies in completion order. Version <= 6 peers keep the legacy
+// one-in-flight read/dispatch/reply loop.
 type Server struct {
 	eng Backend
 
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	idleTimeout  time.Duration
+
+	queue    *ingestq.Queue
+	ownQueue bool
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*servConn
 	wg       sync.WaitGroup
 	closed   bool
 	draining bool
+	stopCh   chan struct{}
+
+	pipelinedConns atomic.Int64
+	legacyConns    atomic.Int64
 }
 
 // NewServer wraps a backend (an engine or a shard router).
 func NewServer(eng Backend) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		eng:    eng,
+		conns:  make(map[net.Conn]*servConn),
+		stopCh: make(chan struct{}),
+	}
 }
 
-// SetTimeouts arms per-exchange connection deadlines: read is the
-// longest a connection may sit between requests (an idle or stalled
-// peer is dropped after it), write the longest one response may take to
-// drain into the socket. Zero disables the respective deadline. Call
-// before Listen.
+// SetTimeouts arms per-frame connection deadlines: read is the longest
+// a connection may sit between request frames (an idle or stalled peer
+// is dropped after it), write the longest one response frame may take
+// to drain into the socket. Zero disables the respective deadline.
+// Call before Listen.
 func (s *Server) SetTimeouts(read, write time.Duration) {
 	s.readTimeout = read
 	s.writeTimeout = write
+}
+
+// SetIdleTimeout arms the idle-connection sweep: a connection with no
+// frame traffic in either direction and no ops in flight for longer
+// than d is closed, so dead clients cannot pin reader goroutines
+// forever even when no read deadline is set. Zero (the default)
+// disables the sweep. Call before Listen.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.idleTimeout = d
+}
+
+// SetIngestQueue makes the server dispatch pipelined ops through q
+// instead of a private queue, so several front ends (this server, the
+// HTTP gateway) share one backpressure policy. The caller owns q's
+// lifetime and must close it only after every sharer has shut down.
+// Call before Listen.
+func (s *Server) SetIngestQueue(q *ingestq.Queue) {
+	s.queue = q
+	s.ownQueue = false
+}
+
+// SetQueueBounds sizes the server's own dispatch queue (ignored after
+// SetIngestQueue): capacity slots and workers executing ops. Zeros
+// pick the ingestq defaults. Call before Listen.
+func (s *Server) SetQueueBounds(capacity, workers int) {
+	if s.queue != nil && !s.ownQueue {
+		return
+	}
+	s.queue = ingestq.New(capacity, workers)
+	s.ownQueue = true
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -72,9 +137,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.listener = ln
+	if s.queue == nil {
+		s.queue = ingestq.New(0, 0)
+		s.ownQueue = true
+	}
+	idle := s.idleTimeout
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	if idle > 0 {
+		s.wg.Add(1)
+		go s.sweepIdle(idle)
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -91,12 +165,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		sc := &servConn{conn: conn}
+		sc.touch()
+		s.conns[conn] = sc
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(sc)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -104,11 +180,103 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// sweepIdle periodically closes connections with no traffic and no
+// in-flight ops for longer than the idle timeout.
+func (s *Server) sweepIdle(idle time.Duration) {
+	defer s.wg.Done()
+	tick := idle / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case now := <-t.C:
+			cutoff := now.Add(-idle).UnixNano()
+			s.mu.Lock()
+			for _, sc := range s.conns {
+				if sc.inFlight.Load() == 0 && sc.lastActive.Load() < cutoff {
+					sc.conn.Close() // unblocks the parked reader
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// serveConn owns one connection: it runs the untagged handshake
+// exchange, then hands off to the pipelined or legacy loop depending
+// on the negotiated protocol version.
+func (s *Server) serveConn(sc *servConn) {
+	conn := sc.conn
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	for first := true; ; first = false {
+
+	// The handshake is always untagged, whatever the versions: the
+	// client's first frame must be OpHello carrying magic + version.
+	if s.readTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+	}
+	op, payload, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	sc.touch()
+	var resp []byte
+	var derr error
+	if op != OpHello {
+		// Pre-handshake clients would misparse newer payloads; refuse
+		// them with a message they can still decode (the untagged
+		// response framing is unchanged across versions).
+		derr = fmt.Errorf("rpc: handshake required: server speaks protocol version %d, client sent opcode %d first (older client?)",
+			ProtocolVersion, op)
+	} else {
+		resp, derr = s.dispatch(op, payload)
+	}
+	status := StatusOK
+	if derr != nil {
+		status = StatusError
+		resp = []byte(derr.Error())
+	}
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	if writeFrame(bw, status, resp) != nil || bw.Flush() != nil {
+		return
+	}
+	if derr != nil {
+		return // failed handshake: drop the connection
+	}
+	sc.touch()
+	peerVersion := payload[4] // dispatch validated the payload shape
+	if min(peerVersion, ProtocolVersion) >= pipelineVersion {
+		s.pipelinedConns.Add(1)
+		s.servePipelined(sc, br, bw)
+	} else {
+		s.legacyConns.Add(1)
+		s.serveLegacy(sc, br, bw)
+	}
+}
+
+// serveLegacy is the version <= 6 loop: one untagged frame in, one
+// dispatched inline, one untagged reply out. Exactly the pre-v7
+// behavior, so old peers observe nothing new.
+func (s *Server) serveLegacy(sc *servConn, br *bufio.Reader, bw *bufio.Writer) {
+	conn := sc.conn
+	for {
+		if s.isDraining() {
+			return // graceful shutdown: the last exchange has completed
+		}
 		if s.readTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}
@@ -116,41 +284,137 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // client went away, stalled past the deadline, or sent garbage
 		}
-		var resp []byte
-		var derr error
-		if first && op != OpHello {
-			// Pre-handshake clients would misparse version-2 payloads;
-			// refuse them with a message they can still decode (the
-			// response framing is unchanged across versions).
-			derr = fmt.Errorf("rpc: handshake required: server speaks protocol version %d, client sent opcode %d first (older client?)",
-				ProtocolVersion, op)
-		} else {
-			resp, derr = s.dispatch(op, payload)
-		}
-		status := byte(0)
+		sc.touch()
+		sc.inFlight.Add(1)
+		resp, derr := s.dispatch(op, payload)
+		status := StatusOK
 		if derr != nil {
-			status = 1
+			status = StatusError
 			resp = []byte(derr.Error())
 		}
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
-		if err := writeFrame(bw, status, resp); err != nil {
+		err = writeFrame(bw, status, resp)
+		if err == nil {
+			err = bw.Flush()
+		}
+		sc.inFlight.Add(-1)
+		sc.touch()
+		if err != nil {
 			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		if first && derr != nil {
-			return // failed handshake: drop the connection
-		}
-		s.mu.Lock()
-		draining := s.draining
-		s.mu.Unlock()
-		if draining {
-			return // graceful shutdown: finish the in-flight exchange, then close
 		}
 	}
+}
+
+// wireReply is one tagged response waiting for the writer goroutine.
+type wireReply struct {
+	tag     uint32
+	status  byte
+	payload []byte
+}
+
+// servePipelined is the version-7 loop. The calling goroutine is the
+// reader: it decodes tagged frames and submits each op to the shared
+// dispatch queue, answering StatusOverloaded immediately when the
+// queue (or this connection's in-flight budget) is full. Workers
+// execute ops concurrently and push replies — in completion order, not
+// arrival order — to the writer goroutine, which owns the socket's
+// write side and flushes whenever its channel goes momentarily empty,
+// so back-to-back replies coalesce into few syscalls.
+func (s *Server) servePipelined(sc *servConn, br *bufio.Reader, bw *bufio.Writer) {
+	conn := sc.conn
+	// Capacity covers the full in-flight budget plus slack for
+	// reader-issued overload replies, so a worker's send never blocks
+	// while the writer is alive.
+	replies := make(chan wireReply, maxConnInFlight+16)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for rep := range replies {
+			if broken {
+				continue // keep draining so workers never block
+			}
+			if s.writeTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			}
+			if writeTaggedFrame(bw, rep.status, rep.tag, rep.payload) != nil {
+				broken = true
+				continue
+			}
+			if len(replies) == 0 {
+				if bw.Flush() != nil {
+					broken = true
+					continue
+				}
+				sc.touch()
+			}
+		}
+		if !broken {
+			bw.Flush()
+		}
+	}()
+
+	var pending sync.WaitGroup
+	for {
+		if s.isDraining() {
+			break // stop taking requests; in-flight ops still answer
+		}
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		op, tag, payload, err := readTaggedFrame(br)
+		if err != nil {
+			break
+		}
+		sc.touch()
+		if sc.inFlight.Load() >= maxConnInFlight {
+			replies <- wireReply{tag: tag, status: StatusOverloaded,
+				payload: encodeOverloadPayload(s.queue.RetryAfter())}
+			continue
+		}
+		sc.inFlight.Add(1)
+		pending.Add(1)
+		task := func() {
+			defer pending.Done()
+			defer sc.inFlight.Add(-1)
+			resp, derr := s.dispatch(op, payload)
+			rep := wireReply{tag: tag, status: StatusOK, payload: resp}
+			if derr != nil {
+				rep.status, rep.payload = StatusError, []byte(derr.Error())
+			}
+			replies <- rep
+		}
+		if qerr := s.queue.TrySubmit(task); qerr != nil {
+			sc.inFlight.Add(-1)
+			pending.Done()
+			replies <- wireReply{tag: tag, status: StatusOverloaded,
+				payload: encodeOverloadPayload(s.queue.RetryAfter())}
+		}
+	}
+	// Reader done (peer gone, deadline, or drain): wait for this
+	// connection's in-flight ops, let the writer drain their replies,
+	// then release it.
+	pending.Wait()
+	close(replies)
+	<-writerDone
+}
+
+// frontendStats overlays the server-level ingest counters onto an
+// aggregate stats snapshot (the per-shard blocks stay zero, like the
+// router's label-index counters — the dispatch queue is server-wide).
+func (s *Server) frontendStats(st *engine.Stats) {
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		st.IngestQueueCap = qs.Capacity
+		st.IngestQueueDepth = qs.Depth
+		st.IngestWorkers = qs.Workers
+		st.IngestEnqueued = qs.Enqueued
+		st.IngestRejected = qs.Rejected
+	}
+	st.PipelinedConns = s.pipelinedConns.Load()
+	st.LegacyConns = s.legacyConns.Load()
 }
 
 func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
@@ -223,14 +487,15 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		// Aggregate stats in the version-1 block layout, then the
 		// version-2 per-shard extension (absent shards encode as 0, so
 		// clients against a bare engine see an empty breakdown), then
-		// the version-3 durability extension (aggregate block + one per
-		// shard), then the version-4 pruning and version-5
-		// read-amplification extensions in the same
-		// aggregate-then-per-shard shape. Older clients stop reading
-		// before the extensions they do not know.
+		// the version-3 durability, version-4 pruning, version-5
+		// read-amplification, version-6 label-index and version-7
+		// ingest extensions in the same aggregate-then-per-shard
+		// shape. Older clients stop reading before the extensions they
+		// do not know.
 		var resp []byte
 		if sb, ok := s.eng.(shardedBackend); ok {
 			merged, per := sb.StatsAll()
+			s.frontendStats(&merged)
 			resp = appendStats(nil, merged)
 			resp = binary.AppendUvarint(resp, uint64(len(per)))
 			for _, shardStats := range per {
@@ -252,14 +517,20 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendIndexStats(resp, shardStats)
 			}
+			resp = appendIngestStats(resp, merged)
+			for _, shardStats := range per {
+				resp = appendIngestStats(resp, shardStats)
+			}
 		} else {
 			st := s.eng.Stats()
+			s.frontendStats(&st)
 			resp = appendStats(nil, st)
 			resp = binary.AppendUvarint(resp, 0)
 			resp = appendDurability(resp, st)
 			resp = appendPruning(resp, st)
 			resp = appendReadAmp(resp, st)
 			resp = appendIndexStats(resp, st)
+			resp = appendIngestStats(resp, st)
 		}
 		return resp, nil
 
@@ -313,8 +584,8 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 }
 
 // Shutdown drains the server gracefully: it stops accepting, lets every
-// in-flight exchange finish (idle connections are released at their
-// next read, bounded by the drain deadline), and force-closes whatever
+// in-flight op finish (idle connections are released at their next
+// read, bounded by the drain deadline), and force-closes whatever
 // remains when the deadline passes. The engine is left open (the owner
 // closes it — typically right after Shutdown returns, so the final
 // flush happens with no requests in flight).
@@ -326,17 +597,19 @@ func (s *Server) Shutdown(drain time.Duration) error {
 	}
 	s.closed = true
 	s.draining = true
+	close(s.stopCh)
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
-	// Unblock connections parked in readFrame waiting for a request
-	// that will never come; handlers mid-dispatch are unaffected until
-	// they next read.
+	// Unblock readers parked in readFrame/readTaggedFrame waiting for
+	// a request that will never come; ops mid-dispatch are unaffected
+	// until their connection next reads.
 	deadline := time.Now().Add(drain)
 	for conn := range s.conns {
 		conn.SetReadDeadline(deadline)
 	}
+	ownQueue := s.ownQueue
 	s.mu.Unlock()
 
 	done := make(chan struct{})
@@ -354,6 +627,9 @@ func (s *Server) Shutdown(drain time.Duration) error {
 		s.mu.Unlock()
 		<-done
 	}
+	if ownQueue {
+		s.queue.Close()
+	}
 	if errors.Is(err, net.ErrClosed) {
 		return nil
 	}
@@ -369,6 +645,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.stopCh)
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
@@ -376,8 +653,16 @@ func (s *Server) Close() error {
 	for conn := range s.conns {
 		conn.Close()
 	}
+	ownQueue := s.ownQueue
 	s.mu.Unlock()
 	s.wg.Wait()
+	if ownQueue && s.queue != nil {
+		s.queue.Close()
+	}
+	return ignoreNetClosed(err)
+}
+
+func ignoreNetClosed(err error) error {
 	if errors.Is(err, net.ErrClosed) {
 		return nil
 	}
