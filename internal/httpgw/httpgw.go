@@ -2,6 +2,7 @@ package httpgw
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -119,6 +120,10 @@ func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request) {
 		done <- firstErr
 	}
 	if err := g.queue.TrySubmit(task); err != nil {
+		if errors.Is(err, ingestq.ErrClosed) {
+			httpError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
 		retry := g.queue.RetryAfter()
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(retry), 10))
 		w.Header().Set("Content-Type", "application/json")
@@ -129,9 +134,32 @@ func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if err := <-done; err != nil {
-		httpError(w, http.StatusInternalServerError, "insert: %v", err)
+	// Never wait unconditionally: the request may be abandoned by the
+	// client, and a submit racing Queue.Close can be accepted yet end
+	// up running inside Close (or, losing the race entirely, never) —
+	// queue.Done() unblocks this handler in every such case, so
+	// http.Server.Shutdown cannot hang on it.
+	select {
+	case err := <-done:
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "insert: %v", err)
+			return
+		}
+	case <-r.Context().Done():
+		// Client gone; the insert may still complete in the background,
+		// but there is no one left to answer.
 		return
+	case <-g.queue.Done():
+		select {
+		case err := <-done: // the task ran during Close's straggler drain
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "insert: %v", err)
+				return
+			}
+		default:
+			httpError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
 	}
 	g.writes.Add(1)
 	g.points.Add(int64(len(pts)))
@@ -239,7 +267,14 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ws, err := query.WindowQuery(g.backend, sensor, startT, endT, window, agg)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// Parameter mistakes are the client's (400); anything else is a
+		// storage/engine fault and must surface as a server error, or
+		// monitoring never sees it.
+		status := http.StatusInternalServerError
+		if errors.Is(err, query.ErrInvalidArgument) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	out := make([]windowJSON, len(ws))

@@ -1,7 +1,9 @@
 package httpgw
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -299,5 +301,95 @@ func TestSharedQueueDrains(t *testing.T) {
 	}
 	if ok == 0 {
 		t.Fatal("no write ever succeeded through the shared queue")
+	}
+}
+
+// TestWriteAfterQueueCloseReturns503: a gateway whose shared queue has
+// been closed sheds writes with 503 instead of hanging on a task that
+// will never run.
+func TestWriteAfterQueueCloseReturns503(t *testing.T) {
+	q := ingestq.New(4, 1)
+	_, srv := newTestGateway(t, q)
+	q.Close()
+	resp, err := http.Post(srv.URL+"/write", "text/plain", strings.NewReader("cpu usage=1 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write after queue close status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestWriteUnblocksOnClientCancel: an accepted write whose task is
+// stuck behind a wedged worker must not pin the handler past the
+// request's own lifetime — the handler returns when the client gives
+// up.
+func TestWriteUnblocksOnClientCancel(t *testing.T) {
+	q := ingestq.New(4, 1)
+	defer q.Close()
+	_, srv := newTestGateway(t, q)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/write",
+		strings.NewReader("cpu usage=1 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	// Whether the transport reports the cancellation as an error or a
+	// truncated response, the handler must have let go promptly.
+	if elapsed := time.Since(begin); elapsed > 3*time.Second {
+		t.Fatalf("canceled write pinned the handler for %v", elapsed)
+	}
+}
+
+// failingBackend answers every query with an internal fault.
+type failingBackend struct{}
+
+func (failingBackend) InsertBatch(string, []int64, []float64) error { return nil }
+func (failingBackend) Query(string, int64, int64) ([]engine.TV, error) {
+	return nil, fmt.Errorf("disk on fire")
+}
+func (failingBackend) Stats() engine.Stats { return engine.Stats{} }
+
+// TestQueryBackendErrorIs500: parameter mistakes are 400s, but a
+// storage-side failure must surface as 500 so monitoring sees it.
+func TestQueryBackendErrorIs500(t *testing.T) {
+	g := New(failingBackend{}, nil)
+	t.Cleanup(g.Close)
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/query?sensor=s&start=0&end=10&window=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("backend failure status = %d, want 500", resp.StatusCode)
+	}
+
+	// An inverted range is the caller's fault and stays a 400.
+	resp, err = http.Get(srv.URL + "/query?sensor=s&start=10&end=0&window=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range status = %d, want 400", resp.StatusCode)
 	}
 }

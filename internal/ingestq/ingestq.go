@@ -57,6 +57,7 @@ type Queue struct {
 
 	closeOnce sync.Once
 	closed    atomic.Bool
+	done      chan struct{}
 
 	enqueued  atomic.Int64
 	rejected  atomic.Int64
@@ -86,6 +87,7 @@ func New(capacity, workers int) *Queue {
 	q := &Queue{
 		tasks:   make(chan func(), capacity),
 		workers: workers,
+		done:    make(chan struct{}),
 	}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -158,17 +160,39 @@ func (q *Queue) Stats() Stats {
 	}
 }
 
+// Done returns a channel that is closed once Close has finished:
+// workers are stopped and the straggler drain has run. Callers that
+// block on a task-completion signal should select on it too, so a
+// submit racing Close (see below) cannot strand them forever.
+func (q *Queue) Done() <-chan struct{} { return q.done }
+
 // Close stops the workers after the backlog ahead of the close drains,
-// and waits for them. TrySubmit fails with ErrClosed afterwards; a
-// submit racing Close may be accepted but never run, so owners must
-// stop all submitters (servers, gateways) before closing the queue
-// they share.
+// and waits for them. TrySubmit fails with ErrClosed afterwards.
+// Tasks accepted by a TrySubmit racing Close — past the closed check
+// before the sentinels landed — are run inline by Close itself, so
+// accepted work is executed, not silently stranded. Owners should
+// still stop all submitters (servers, gateways) before closing the
+// queue they share: a submit that loses the race entirely fails with
+// ErrClosed, and submitters must be prepared for that.
 func (q *Queue) Close() {
 	q.closeOnce.Do(func() {
 		q.closed.Store(true)
 		for i := 0; i < q.workers; i++ {
 			q.tasks <- nil
 		}
+		q.wg.Wait()
+		for {
+			select {
+			case t := <-q.tasks:
+				if t != nil {
+					t()
+					q.completed.Add(1)
+				}
+				continue
+			default:
+			}
+			break
+		}
+		close(q.done)
 	})
-	q.wg.Wait()
 }

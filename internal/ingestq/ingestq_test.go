@@ -111,3 +111,46 @@ func TestCloseDrainsAndStops(t *testing.T) {
 	}
 	q.Close() // idempotent
 }
+
+// TestCloseRunsStragglers: a task that lands in the channel after the
+// close sentinels — the documented submit-racing-Close window — is run
+// by Close itself rather than stranded, and Done() only closes after.
+func TestCloseRunsStragglers(t *testing.T) {
+	q := New(8, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is wedged; the channel is empty
+
+	closed := make(chan struct{})
+	go func() {
+		q.Close()
+		close(closed)
+	}()
+	for !q.closed.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	// Emulate the racing submit: past TrySubmit's closed check, the
+	// task enters the channel around the sentinel.
+	ran := make(chan struct{})
+	q.tasks <- func() { close(ran) }
+
+	close(release)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler task stranded by Close")
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("Done() not closed after Close returned")
+	}
+}

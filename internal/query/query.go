@@ -14,12 +14,20 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/winagg"
 )
+
+// ErrInvalidArgument tags errors caused by the caller's parameters —
+// a non-positive window, an inverted range — as opposed to faults
+// inside the storage backend. Front ends branch on it with errors.Is
+// to report client mistakes (HTTP 400) separately from server faults
+// (HTTP 500).
+var ErrInvalidArgument = errors.New("invalid argument")
 
 // Aggregator selects the per-window aggregate function. It aliases
 // winagg.Op, the representation shared with the engine's pushdown
@@ -52,10 +60,10 @@ type WindowResult struct {
 // paper warns about. Empty windows are omitted.
 func AggregateWindows(points []engine.TV, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
 	if window <= 0 {
-		return nil, fmt.Errorf("query: window must be positive, got %d", window)
+		return nil, fmt.Errorf("query: window must be positive, got %d: %w", window, ErrInvalidArgument)
 	}
 	if endT < startT {
-		return nil, fmt.Errorf("query: empty range [%d, %d)", startT, endT)
+		return nil, fmt.Errorf("query: empty range [%d, %d): %w", startT, endT, ErrInvalidArgument)
 	}
 	var out []WindowResult
 	var cur *WindowResult
@@ -114,10 +122,10 @@ type WindowAggregator interface {
 // results — the pushdown property test asserts it.
 func WindowQuery(e Source, sensor string, startT, endT, window int64, agg Aggregator) ([]WindowResult, error) {
 	if window <= 0 {
-		return nil, fmt.Errorf("query: window must be positive, got %d", window)
+		return nil, fmt.Errorf("query: window must be positive, got %d: %w", window, ErrInvalidArgument)
 	}
 	if endT < startT {
-		return nil, fmt.Errorf("query: empty range [%d, %d)", startT, endT)
+		return nil, fmt.Errorf("query: empty range [%d, %d): %w", startT, endT, ErrInvalidArgument)
 	}
 	if endT == startT {
 		// Also the guard that keeps endT-1 below from underflowing

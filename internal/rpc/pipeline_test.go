@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
@@ -405,6 +406,123 @@ func TestNoGoroutineLeakAfterDrain(t *testing.T) {
 				baseline, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStalledWriterDoesNotWedgePool: a deaf client — it pipelines
+// queries with large results and never reads a reply — stalls its
+// connection's writer in a socket write. The shared worker pool must
+// keep serving other connections throughout (worker reply sends are
+// budgeted, never blocking), and the stalled writer must break out on
+// the default write-stall deadline even with no configured write
+// timeout, letting the server shut down cleanly.
+func TestStalledWriterDoesNotWedgePool(t *testing.T) {
+	oldStall := defaultWriteStall
+	defaultWriteStall = 200 * time.Millisecond
+	t.Cleanup(func() { defaultWriteStall = oldStall })
+
+	e, err := engine.Open(engine.Config{Dir: t.TempDir(), MemTableSize: 1 << 20, SyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	// A sensor big enough that a few hundred query replies overwhelm
+	// any socket buffering between server and a client that never
+	// reads.
+	const npts = 8192
+	times := make([]int64, npts)
+	values := make([]float64, npts)
+	for i := range times {
+		times[i] = int64(i)
+		values[i] = float64(i)
+	}
+	if err := e.InsertBatch("big", times, values); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(e) // no SetTimeouts: the -rpc-timeout=0 configuration
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deaf, br, bw := rawDial(t, addr)
+	hello := append(append([]byte(nil), protocolMagic[:]...), ProtocolVersion)
+	if status, _ := rawCall(t, br, bw, OpHello, hello); status != StatusOK {
+		t.Fatal("handshake refused")
+	}
+	qpayload := appendString(nil, "big")
+	qpayload = binary.AppendVarint(qpayload, 0)
+	qpayload = binary.AppendVarint(qpayload, npts)
+	for i := 0; i < 256; i++ {
+		if err := writeTaggedFrame(bw, OpQuery, uint32(i), qpayload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and never read a single reply.
+
+	// A healthy client on the same server must get service while the
+	// deaf connection's writer is stalled.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	healthy := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if err := c.InsertBatch("s", []int64{int64(i)}, []float64{1}); err != nil {
+				healthy <- err
+				return
+			}
+			if _, err := c.Query("big", 0, 10); err != nil {
+				healthy <- err
+				return
+			}
+		}
+		healthy <- nil
+	}()
+	select {
+	case err := <-healthy:
+		if err != nil {
+			t.Fatalf("healthy client starved: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shared worker pool wedged behind a deaf pipelined client")
+	}
+
+	// The write-stall deadline breaks the stalled writer, which hangs
+	// up on the deaf peer; shutdown must then complete promptly.
+	deaf.Close()
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetQueueBoundsReplacesQueue: re-sizing the private dispatch
+// queue must stop the previous pool's workers, not leak them.
+func TestSetQueueBoundsReplacesQueue(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := NewServer(newBlockingBackend())
+	for i := 0; i < 8; i++ {
+		srv.SetQueueBounds(4, 3)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SetQueueBounds leaked workers: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

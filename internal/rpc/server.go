@@ -41,6 +41,25 @@ type shardedBackend interface {
 // unbounded reply buffering.
 const maxConnInFlight = 1024
 
+// overloadSlack bounds how many reader-issued StatusOverloaded replies
+// one connection may have outstanding (handed to the writer but not
+// yet consumed by it). Together with maxConnInFlight it sizes the
+// reply channel so sends into it never block: every worker reply holds
+// an inFlight unit and every overload reply an overloadSlack unit
+// until the writer receives it. A peer that keeps pipelining past its
+// budget while not draining replies exhausts the slack and is
+// disconnected — the worker pool is shared across connections and the
+// HTTP gateway, so one deaf client must not be able to wedge it.
+const overloadSlack = 16
+
+// defaultWriteStall caps how long the pipelined writer may sit in one
+// socket write when no explicit write timeout is configured. A healthy
+// peer drains its receive buffer continuously; a stall this long means
+// the peer stopped reading, and the connection is cut so its buffered
+// replies drain and its reader is released. A var so tests can shrink
+// it.
+var defaultWriteStall = time.Minute
+
 // servConn is the per-connection bookkeeping the idle sweep and the
 // drain logic read.
 type servConn struct {
@@ -91,7 +110,11 @@ func NewServer(eng Backend) *Server {
 // SetTimeouts arms per-frame connection deadlines: read is the longest
 // a connection may sit between request frames (an idle or stalled peer
 // is dropped after it), write the longest one response frame may take
-// to drain into the socket. Zero disables the respective deadline.
+// to drain into the socket. Zero disables the respective deadline —
+// except that a pipelined connection's writer always caps a single
+// socket write at defaultWriteStall, because with many replies queued
+// behind one stalled write a truly unbounded write would let a peer
+// that stops reading pin the connection's buffered replies forever.
 // Call before Listen.
 func (s *Server) SetTimeouts(read, write time.Duration) {
 	s.readTimeout = read
@@ -121,8 +144,11 @@ func (s *Server) SetIngestQueue(q *ingestq.Queue) {
 // SetIngestQueue): capacity slots and workers executing ops. Zeros
 // pick the ingestq defaults. Call before Listen.
 func (s *Server) SetQueueBounds(capacity, workers int) {
-	if s.queue != nil && !s.ownQueue {
-		return
+	if s.queue != nil {
+		if !s.ownQueue {
+			return
+		}
+		s.queue.Close() // don't leak the previous pool's workers
 	}
 	s.queue = ingestq.New(capacity, workers)
 	s.ownQueue = true
@@ -322,30 +348,51 @@ type wireReply struct {
 // arrival order — to the writer goroutine, which owns the socket's
 // write side and flushes whenever its channel goes momentarily empty,
 // so back-to-back replies coalesce into few syscalls.
+//
+// The reply channel is sized for every budget unit that can be
+// outstanding at once — maxConnInFlight worker replies plus
+// overloadSlack reader-issued overload replies — and the writer
+// releases each unit the moment it receives the reply, so sends into
+// the channel never block a shared-pool worker: admission control
+// (the inFlight budget, the overload slack) runs strictly ahead of
+// every send.
 func (s *Server) servePipelined(sc *servConn, br *bufio.Reader, bw *bufio.Writer) {
 	conn := sc.conn
-	// Capacity covers the full in-flight budget plus slack for
-	// reader-issued overload replies, so a worker's send never blocks
-	// while the writer is alive.
-	replies := make(chan wireReply, maxConnInFlight+16)
+	replies := make(chan wireReply, maxConnInFlight+overloadSlack)
+	var overloadOut atomic.Int64 // overload replies the writer has not yet consumed
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		broken := false
 		for rep := range replies {
+			// Release the budget unit first: even a broken writer must
+			// keep the reply channel's capacity invariant honest.
+			if rep.status == StatusOverloaded {
+				overloadOut.Add(-1)
+			} else {
+				sc.inFlight.Add(-1)
+			}
 			if broken {
 				continue // keep draining so workers never block
 			}
-			if s.writeTimeout > 0 {
-				conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			// Always bound one socket write: with no configured write
+			// timeout a peer that stops reading would otherwise park
+			// this goroutine in conn.Write forever, and with it every
+			// reply buffered behind the stall.
+			stall := s.writeTimeout
+			if stall <= 0 {
+				stall = defaultWriteStall
 			}
+			conn.SetWriteDeadline(time.Now().Add(stall))
 			if writeTaggedFrame(bw, rep.status, rep.tag, rep.payload) != nil {
 				broken = true
+				conn.Close() // release the parked reader; the stream is dead
 				continue
 			}
 			if len(replies) == 0 {
 				if bw.Flush() != nil {
 					broken = true
+					conn.Close()
 					continue
 				}
 				sc.touch()
@@ -370,35 +417,64 @@ func (s *Server) servePipelined(sc *servConn, br *bufio.Reader, bw *bufio.Writer
 		}
 		sc.touch()
 		if sc.inFlight.Load() >= maxConnInFlight {
-			replies <- wireReply{tag: tag, status: StatusOverloaded,
-				payload: encodeOverloadPayload(s.queue.RetryAfter())}
+			if !s.sendOverload(replies, &overloadOut, tag) {
+				break // deaf peer: pipelining past its budget, not reading replies
+			}
 			continue
 		}
 		sc.inFlight.Add(1)
 		pending.Add(1)
 		task := func() {
 			defer pending.Done()
-			defer sc.inFlight.Add(-1)
 			resp, derr := s.dispatch(op, payload)
 			rep := wireReply{tag: tag, status: StatusOK, payload: resp}
 			if derr != nil {
 				rep.status, rep.payload = StatusError, []byte(derr.Error())
 			}
-			replies <- rep
+			// The op's inFlight unit is released by the writer when it
+			// consumes rep, so this send always finds channel capacity.
+			select {
+			case replies <- rep:
+			default:
+				// Unreachable while the budget accounting is correct;
+				// if it ever is not, kill the connection rather than
+				// wedge a shared worker. Closing the conn breaks the
+				// writer out of any stalled write, after which it
+				// drains the channel — so the blocking send completes.
+				conn.Close()
+				replies <- rep
+			}
 		}
 		if qerr := s.queue.TrySubmit(task); qerr != nil {
 			sc.inFlight.Add(-1)
 			pending.Done()
-			replies <- wireReply{tag: tag, status: StatusOverloaded,
-				payload: encodeOverloadPayload(s.queue.RetryAfter())}
+			if !s.sendOverload(replies, &overloadOut, tag) {
+				break
+			}
 		}
 	}
-	// Reader done (peer gone, deadline, or drain): wait for this
-	// connection's in-flight ops, let the writer drain their replies,
-	// then release it.
+	// Reader done (peer gone, deadline, drain, or overload slack
+	// spent): wait for this connection's in-flight ops, let the writer
+	// drain their replies, then release it.
 	pending.Wait()
 	close(replies)
 	<-writerDone
+}
+
+// sendOverload queues a StatusOverloaded reply for tag if the
+// connection's overload slack allows. False means the slack is spent:
+// the peer keeps pipelining while its writer is stalled (it is not
+// reading replies), and the connection must be dropped rather than
+// risk the reader blocking on the reply channel — and, through the
+// shared dispatch pool, stalling every other connection.
+func (s *Server) sendOverload(replies chan<- wireReply, overloadOut *atomic.Int64, tag uint32) bool {
+	if overloadOut.Add(1) > overloadSlack {
+		overloadOut.Add(-1)
+		return false
+	}
+	replies <- wireReply{tag: tag, status: StatusOverloaded,
+		payload: encodeOverloadPayload(s.queue.RetryAfter())}
+	return true
 }
 
 // frontendStats overlays the server-level ingest counters onto an
