@@ -1,0 +1,259 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// adaptiveSmokeRep is how many times each configuration runs; the
+// comparison uses the per-config minimum, the standard noise shield
+// for wall-clock CI gates.
+const adaptiveSmokeRep = 3
+
+// smokeSetting is one engine configuration the smoke compares.
+type smokeSetting struct {
+	name      string
+	adaptive  bool
+	threshold int // FlatSortThreshold
+	fixedL    int // FixedBlockSize (0 = per-flush search)
+}
+
+// staticSettings is the sweep of static (threshold, block-size)
+// configurations the adaptive planner must beat on drifting input: the
+// default, both routing extremes, and routing × pinned-block-size
+// combinations that are each right for one regime of the drifting
+// workload and wrong for another (a small pinned L wins on clock skew
+// but drowns in merge work under Pareto backlogs; a large one wastes
+// block sorts on mildly disordered stretches; the interface path loses
+// its cache locality edge on every dirty mid-size chunk).
+func staticSettings() []smokeSetting {
+	return []smokeSetting{
+		{name: "static/default", threshold: 0, fixedL: 0},
+		{name: "static/iface-only", threshold: -1, fixedL: 0},
+		{name: "static/flat-all", threshold: 1, fixedL: 0},
+		{name: "static/L16", threshold: 0, fixedL: 16},
+		{name: "static/L4096", threshold: 0, fixedL: 4096},
+		{name: "static/iface-L256", threshold: -1, fixedL: 256},
+		{name: "static/flat-L16", threshold: 1, fixedL: 16},
+		{name: "static/flat-L4096", threshold: 1, fixedL: 4096},
+	}
+}
+
+// smokeSensor is one sensor of a smoke workload: a series plus its
+// ingest rate in points per round. Unequal rates give sensors unequal
+// flush-chunk sizes — the realistic fleet shape that makes any single
+// global (threshold, block-size) choice wrong for some sensor.
+type smokeSensor struct {
+	series *dataset.Series
+	rate   int
+}
+
+// smokeWorkload is a named set of per-sensor series.
+type smokeWorkload struct {
+	name    string
+	sensors []smokeSensor
+}
+
+// driftingWorkload mixes the three drifting scenarios across sensors:
+// clock skew stepping in and out, Pareto outage backlogs, and slowly
+// saturating mixtures. Each sensor's distribution shifts several times
+// within its run, so a single static (threshold, block-size) choice is
+// wrong for part of every sensor's lifetime, and the static settings
+// each have a sensor that defeats them:
+//
+//   - The low-rate mixture/backlog sensors flush small chunks whose
+//     late-segment delays exceed the chunk length — there the static
+//     per-flush search degenerates to its O(n) worst case, probing
+//     every stride only to conclude L = n, while the sketch
+//     prediction reaches the same answer for free.
+//   - The high-rate mixture sensor flushes chunks several times
+//     larger, where a small pinned block size pays O(n·delay/L) merge
+//     work and drowns, and where a global sub-4096 threshold's
+//     interface routing is slowest in absolute terms.
+func driftingWorkload(points int, seed int64) smokeWorkload {
+	return smokeWorkload{name: "drifting", sensors: []smokeSensor{
+		{dataset.DriftClockSkew(points, seed), 1},
+		{dataset.ParetoBursts(points, seed+1), 1},
+		{dataset.ParetoBursts(points, seed+2), 1},
+		{dataset.DriftMixture(points, seed+3), 1},
+		{dataset.DriftMixture(points, seed+4), 1},
+		{dataset.DriftMixture(points*4, seed+5), 4},
+	}}
+}
+
+// stationaryWorkload is the paper's real-world scenario set: i.i.d.
+// delays, where the static defaults are already well tuned and the
+// adaptive planner must not lose.
+func stationaryWorkload(points int, seed int64) smokeWorkload {
+	var sensors []smokeSensor
+	for i, name := range dataset.RealWorldNames() {
+		s, _ := dataset.ByName(name, points, seed+int64(i))
+		sensors = append(sensors, smokeSensor{s, 1})
+	}
+	return smokeWorkload{name: "stationary", sensors: sensors}
+}
+
+// runAdaptiveWorkload ingests the workload into a fresh engine under
+// the given setting and returns the total server-side flush sort time
+// in milliseconds plus the final stats.
+func runAdaptiveWorkload(w smokeWorkload, s smokeSetting) (float64, engine.Stats, error) {
+	dir, err := os.MkdirTemp("", "tsbench-adaptive-*")
+	if err != nil {
+		return 0, engine.Stats{}, err
+	}
+	defer os.RemoveAll(dir)
+	// MemTableSize 8000 across 6 sensors puts per-sensor flush chunks
+	// near 1300 points: below the engine's static 4096 flat threshold,
+	// where a global threshold misroutes dirty chunks onto the slower
+	// interface path, and below the drifting scenarios' late-segment
+	// delay envelopes, where the static per-flush block-size search
+	// pays its O(n) worst case that sketch seeding avoids.
+	eng, err := engine.Open(engine.Config{
+		Dir:               dir,
+		MemTableSize:      8000,
+		SyncFlush:         true,
+		FlushWorkers:      1,
+		FlatSortThreshold: s.threshold,
+		FixedBlockSize:    s.fixedL,
+		AdaptiveSort:      s.adaptive,
+	})
+	if err != nil {
+		return 0, engine.Stats{}, err
+	}
+	defer eng.Close()
+
+	// Per round, each sensor contributes batch × rate points, so all
+	// sensors span the same wall-clock window and a rate-4 sensor's
+	// flush chunks are 4× larger.
+	const batch = 500
+	rounds := (w.sensors[0].series.Len() + batch*w.sensors[0].rate - 1) / (batch * w.sensors[0].rate)
+	for round := 0; round < rounds; round++ {
+		for si, sen := range w.sensors {
+			off := round * batch * sen.rate
+			end := off + batch*sen.rate
+			if n := sen.series.Len(); end > n {
+				end = n
+			}
+			if off >= end {
+				continue
+			}
+			sensor := fmt.Sprintf("s%d", si)
+			if err := eng.InsertBatch(sensor, sen.series.Times[off:end], sen.series.Values[off:end]); err != nil {
+				return 0, engine.Stats{}, err
+			}
+		}
+	}
+	eng.Flush()
+	eng.WaitFlushes()
+	st := eng.Stats()
+	return st.FlatSortMillis + st.InterfaceSortMillis, st, nil
+}
+
+// settingResult is one setting's best-of-reps outcome.
+type settingResult struct {
+	ms    float64
+	stats engine.Stats
+}
+
+// minSortMillisAll runs every setting adaptiveSmokeRep times and keeps
+// each setting's minimum sort time with the stats of that best run.
+// The settings are interleaved within each rep — adaptive and every
+// static run back-to-back on the same workload instance — so slow
+// machine drift (thermal throttling, background load) perturbs all
+// settings alike instead of whichever one happened to run during a
+// calm stretch.
+func minSortMillisAll(w func(rep int) smokeWorkload, settings []smokeSetting) ([]settingResult, error) {
+	results := make([]settingResult, len(settings))
+	for i := range results {
+		results[i].ms = -1
+	}
+	for rep := 0; rep < adaptiveSmokeRep; rep++ {
+		wl := w(rep)
+		for i, s := range settings {
+			ms, st, err := runAdaptiveWorkload(wl, s)
+			if err != nil {
+				return nil, err
+			}
+			if results[i].ms < 0 || ms < results[i].ms {
+				results[i] = settingResult{ms: ms, stats: st}
+			}
+		}
+	}
+	return results, nil
+}
+
+// runAdaptiveSmoke is the CI gate for the adaptive sort path: on a
+// drifting ClockSkew+Pareto+Mixture workload the adaptive planner must
+// spend less flush sort time than every static (threshold, block-size)
+// setting, and on the paper's stationary scenarios it must stay within
+// 5% of the best static setting. The sketch-seeded and
+// iterations-saved counters must show the planner actually steered.
+func runAdaptiveSmoke() error {
+	const points = 120000
+	settings := append([]smokeSetting{{name: "adaptive", adaptive: true}}, staticSettings()...)
+
+	// Drifting: adaptive must beat every static setting.
+	drift := func(rep int) smokeWorkload { return driftingWorkload(points, 40+int64(rep)) }
+	driftRes, err := minSortMillisAll(drift, settings)
+	if err != nil {
+		return err
+	}
+	adMs, adStats := driftRes[0].ms, driftRes[0].stats
+	fmt.Printf("adaptive-smoke: drifting: adaptive %.1f ms sort (seeded flushes %d, iters saved %d, pinned %d, seeded %d, L %d..%d) [flat %d/%.1fms iface %d/%.1fms]\n",
+		adMs, adStats.SketchSeededFlushes, adStats.SearchItersSaved,
+		adStats.AdaptiveFixedSorts, adStats.AdaptiveSeededSorts,
+		adStats.AdaptiveMinL, adStats.AdaptiveMaxL,
+		adStats.FlatSorts, adStats.FlatSortMillis, adStats.InterfaceSorts, adStats.InterfaceSortMillis)
+	if adStats.SketchSeededFlushes == 0 {
+		return fmt.Errorf("adaptive-smoke: no sketch-seeded flushes — the planner never engaged")
+	}
+	if adStats.SearchItersSaved == 0 {
+		return fmt.Errorf("adaptive-smoke: search-iterations-saved is zero — seeding never shortcut the search")
+	}
+	var failed error
+	for i, s := range staticSettings() {
+		ms, sst := driftRes[i+1].ms, driftRes[i+1].stats
+		verdict := "beaten"
+		if adMs >= ms {
+			verdict = "NOT beaten"
+			if failed == nil {
+				failed = fmt.Errorf("adaptive-smoke: adaptive (%.1f ms) did not beat %s (%.1f ms) on the drifting workload",
+					adMs, s.name, ms)
+			}
+		}
+		fmt.Printf("adaptive-smoke: drifting: %-18s %.1f ms sort (%s) [flat %d/%.1fms iface %d/%.1fms]\n",
+			s.name, ms, verdict, sst.FlatSorts, sst.FlatSortMillis, sst.InterfaceSorts, sst.InterfaceSortMillis)
+	}
+	if failed != nil {
+		return failed
+	}
+
+	// Stationary: adaptive must stay within 5% of the best static
+	// setting on the paper's i.i.d. scenarios.
+	stat := func(rep int) smokeWorkload { return stationaryWorkload(points, 70+int64(rep)) }
+	statRes, err := minSortMillisAll(stat, settings)
+	if err != nil {
+		return err
+	}
+	adStatMs := statRes[0].ms
+	bestStatic := -1.0
+	bestName := ""
+	for i, s := range staticSettings() {
+		ms := statRes[i+1].ms
+		fmt.Printf("adaptive-smoke: stationary: %-18s %.1f ms sort\n", s.name, ms)
+		if bestStatic < 0 || ms < bestStatic {
+			bestStatic, bestName = ms, s.name
+		}
+	}
+	fmt.Printf("adaptive-smoke: stationary: adaptive %.1f ms sort vs best static %s %.1f ms\n",
+		adStatMs, bestName, bestStatic)
+	if adStatMs > bestStatic*1.05 {
+		return fmt.Errorf("adaptive-smoke: adaptive (%.1f ms) lost more than 5%% to static %s (%.1f ms) on stationary input",
+			adStatMs, bestName, bestStatic)
+	}
+	fmt.Println("adaptive-smoke: PASS")
+	return nil
+}

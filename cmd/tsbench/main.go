@@ -50,6 +50,8 @@ func main() {
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size for the in-process engine, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers for the in-process engine (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
+	adaptive := flag.Bool("adaptive", false, "enable the adaptive sort path: per-sensor disorder sketches plan each flush's kernel routing and block-size search")
+	fixedBlock := flag.Int("fixed-block", 0, "pin the backward-sort block size for every flush sort (0 = per-flush search; ignored with -adaptive)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	walOn := flag.Bool("wal", false, "enable the write-ahead log for the in-process engine")
 	walSync := flag.String("wal-sync", engine.WALSyncNone, "WAL durability policy for the in-process engine: none, interval, or always (non-none implies -wal)")
@@ -74,7 +76,16 @@ func main() {
 	conns := flag.Int("conns", 0, "pipelined-ingest mode: connections to open (> 0 enables the mode; drives -addr, or an in-process server)")
 	pipeline := flag.Int("pipeline", 1, "pipelined-ingest mode: async inserts kept in flight per connection")
 	ingestSmoke := flag.Bool("ingest-smoke", false, "run the multiplexed-front-end smoke check (pipeline 8 vs 1 at 64 conns, overload reject-not-hang at queue=1) and exit")
+	adaptiveSmoke := flag.Bool("adaptive-smoke", false, "run the adaptive-sort smoke check (adaptive beats every static threshold/block-size setting on drifting delays, stays within 5% on stationary ones) and exit")
 	flag.Parse()
+
+	if *adaptiveSmoke {
+		if err := runAdaptiveSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ingestSmoke {
 		if err := runIngestSmoke(); err != nil {
@@ -127,6 +138,7 @@ func main() {
 		shards:       *shards,
 		flushWorkers: *flushWorkers, sortParallelism: *sortParallelism,
 		flatThreshold: *flatThreshold, legacyLocking: *legacyLocking,
+		adaptive: *adaptive, fixedBlock: *fixedBlock,
 		wal: *walOn, walSync: *walSync,
 		blockPoints: *blockPoints, partitionDuration: *partitionDuration,
 		l0Files: *l0Files, levelBase: *levelBase,
@@ -169,6 +181,8 @@ type cellConfig struct {
 	flushWorkers                  int
 	sortParallelism               int
 	flatThreshold                 int
+	adaptive                      bool
+	fixedBlock                    int
 	legacyLocking                 bool
 	wal                           bool
 	walSync                       string
@@ -186,7 +200,8 @@ func (cc cellConfig) engineConfig(dir string) engine.Config {
 	return engine.Config{
 		Dir: dir, MemTableSize: cc.memtable, Algorithm: cc.algo,
 		FlushWorkers: cc.flushWorkers, SortParallelism: cc.sortParallelism,
-		FlatSortThreshold: cc.flatThreshold, LegacyLockedQueries: cc.legacyLocking,
+		FlatSortThreshold: cc.flatThreshold, AdaptiveSort: cc.adaptive,
+		FixedBlockSize: cc.fixedBlock, LegacyLockedQueries: cc.legacyLocking,
 		WAL: cc.wal, WALSync: cc.walSync,
 		BlockPoints: cc.blockPoints, PartitionDuration: cc.partitionDuration,
 		L0CompactFiles: cc.l0Files, LevelBaseBytes: cc.levelBase,
@@ -303,6 +318,12 @@ func runCell(cc cellConfig) error {
 	fmt.Printf("  sort kernel: %d flat sorts (%.3f ms), %d interface sorts (%.3f ms); parallelism %d, threshold %d\n",
 		res.FlatSorts, res.FlatSortMillis, res.InterfaceSorts, res.InterfaceSortMillis,
 		res.SortParallelism, res.FlatSortThreshold)
+	if res.AdaptiveSortEnabled {
+		fmt.Printf("  adaptive: %d sketch-seeded flushes, %d search iters saved; %d pinned + %d seeded sorts; routes flat=%d iface=%d; chosen L %d..%d\n",
+			res.SketchSeededFlushes, res.SearchItersSaved, res.AdaptiveFixedSorts,
+			res.AdaptiveSeededSorts, res.AdaptiveFlatRoutes, res.AdaptiveIfaceRoutes,
+			res.AdaptiveMinL, res.AdaptiveMaxL)
+	}
 	fmt.Printf("  separation: %d seq points, %d unseq points\n", res.SeqPoints, res.UnseqPoints)
 	avgGroup := 0.0
 	if res.WALSyncs > 0 {

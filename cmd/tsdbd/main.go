@@ -55,6 +55,7 @@ func main() {
 	flushWorkers := flag.Int("flush-workers", 0, "flush worker pool size, shared across shards (0 = GOMAXPROCS)")
 	sortParallelism := flag.Int("sort-parallelism", 0, "flat-sort kernel phase-2 workers (0 = 1, sequential)")
 	flatThreshold := flag.Int("flat-threshold", 0, "TVList length routing backward-sorts through the flat kernel (0 = default, negative = interface path only)")
+	adaptiveOn := flag.Bool("adaptive", false, "enable the adaptive sort path: per-sensor disorder sketches plan each flush's kernel routing and block-size search (overrides -flat-threshold routing per sensor)")
 	legacyLocking := flag.Bool("legacy-locking", false, "queries sort under the engine lock, blocking writes (IoTDB/paper mode)")
 	blockPoints := flag.Int("block-points", 0, "target points per v3 chunk block (0 = default, negative = legacy v2 single-unit chunks)")
 	partitionDuration := flag.Int64("partition-duration", 0, "time-partition width in timestamp units; > 0 enables the partitioned leveled layout (p<epoch>/L<n>/) with O(1) retention drops")
@@ -81,6 +82,7 @@ func main() {
 		FlushWorkers:        *flushWorkers,
 		SortParallelism:     *sortParallelism,
 		FlatSortThreshold:   *flatThreshold,
+		AdaptiveSort:        *adaptiveOn,
 		LegacyLockedQueries: *legacyLocking,
 		BlockPoints:         *blockPoints,
 		PartitionDuration:   *partitionDuration,

@@ -1,0 +1,319 @@
+package adaptive
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Config tunes the Planner. The zero value selects defaults matched to
+// the paper's search parameters (L0 = 4, Θ = 0.04).
+type Config struct {
+	// L0 is the block-size search floor (default 4, the paper's L0).
+	L0 int
+	// Theta is the empirical IIR threshold Θ the prediction targets
+	// (default 0.04, the paper's Θ̃).
+	Theta float64
+	// Decay is the weight kept on prior flush generations when a new
+	// generation's sketch is folded in (default 0.5): the per-sensor
+	// state is an exponentially decayed histogram over generations, so
+	// a drifting delay distribution is forgotten in a few flushes.
+	Decay float64
+	// StableRuns is how many consecutive searches must confirm the
+	// same L before the planner skips the search (default 3).
+	StableRuns int
+	// RevalidateEvery forces a real (seeded) search every Nth flush of
+	// a sensor even when its prediction is stable (default 8), so a
+	// drift the sketch underestimates cannot pin a bad L forever.
+	RevalidateEvery int64
+	// MinSamples is the decayed point count below which the planner
+	// makes no sketch-informed decision (default 64).
+	MinSamples float64
+	// FlatMinLen is the chunk length at which a *near-clean* chunk
+	// takes the flat kernel (default 4096, the engine's default
+	// flat-sort threshold): when almost nothing is out of order the
+	// sort is a near-no-op and routing defers to the static threshold.
+	FlatMinLen int
+	// FlatDirtyMinLen is the far lower flat floor for chunks the
+	// sketch knows to be disordered (default 32): on dirty data the
+	// kernel's contiguous sort beats the interface path's per-record
+	// indirection by 2-3x at every measured size, so the
+	// coalesce/scatter copies amortize almost immediately — the
+	// per-sensor routing win a single global threshold cannot express.
+	FlatDirtyMinLen int
+	// MinDisorderForFlat is the disorder fraction separating the two
+	// floors above (default 1/256).
+	MinDisorderForFlat float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.L0 <= 0 {
+		c.L0 = 4
+	}
+	if c.Theta <= 0 {
+		c.Theta = 0.04
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = 0.5
+	}
+	if c.StableRuns <= 0 {
+		c.StableRuns = 3
+	}
+	if c.RevalidateEvery <= 0 {
+		c.RevalidateEvery = 8
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.FlatMinLen <= 0 {
+		c.FlatMinLen = 4096
+	}
+	if c.FlatDirtyMinLen <= 0 {
+		c.FlatDirtyMinLen = 32
+	}
+	if c.MinDisorderForFlat <= 0 {
+		c.MinDisorderForFlat = 1.0 / 256
+	}
+	return c
+}
+
+// maxPredictL caps the predicted block size; BackwardSort clamps L to
+// the chunk length anyway, so a prediction beyond this only wastes
+// doubling steps.
+const maxPredictL = 1 << 20
+
+// Decision is the planner's per-sensor, per-flush sort-path plan.
+type Decision struct {
+	// FixedL, when positive, pins the block size and skips the search
+	// entirely — the prediction has been stable across StableRuns
+	// confirming searches.
+	FixedL int
+	// SeedL, when positive, seeds the block-size search: the search
+	// starts doubling from here instead of from L0. Mutually exclusive
+	// with FixedL.
+	SeedL int
+	// Phase is the anchor for the search's stride-L subsample (see
+	// core.Options.SearchPhase). It is stable per sensor but distinct
+	// across sensors: distinct anchors keep a fleet-wide periodic
+	// timestamp pattern from aliasing every sensor's estimate the same
+	// way, while a stable anchor keeps the search deterministic per
+	// sensor — a rotating anchor makes the chosen L flap on periodic
+	// patterns, which resets the stability count and blocks pinning.
+	Phase int
+	// UseFlat routes this sensor's chunk through the flat kernel;
+	// false keeps it on the in-place interface path.
+	UseFlat bool
+	// SavedIterations estimates how many doubling-search iterations
+	// the decision avoids versus the default search from L0: all of
+	// them when FixedL skips the search, the iterations below the seed
+	// when SeedL shortcuts its start.
+	SavedIterations int
+	// Sketched reports whether the planner had enough per-sensor
+	// signal to inform the decision; false means defaults were used.
+	Sketched bool
+}
+
+// sensorState is the decayed cross-generation disorder state of one
+// sensor.
+type sensorState struct {
+	late     [LateBuckets]float64
+	n        float64
+	ooo      float64
+	interval float64
+	phase    int   // per-sensor subsample anchor, fixed at first sight
+	lastL    int   // last search-confirmed (or stably predicted) block size
+	agree    int   // consecutive confirmations of lastL
+	flushes  int64 // flush generations folded in
+}
+
+// Planner turns per-flush sketch snapshots into sort-path decisions.
+// It persists across flush generations — each generation's sketch is
+// folded into an exponentially decayed per-sensor state — and is safe
+// for concurrent use by the engine's flush workers.
+type Planner struct {
+	mu      sync.Mutex
+	cfg     Config
+	phase   int
+	sensors map[string]*sensorState
+}
+
+// NewPlanner creates a Planner with the given configuration.
+func NewPlanner(cfg Config) *Planner {
+	return &Planner{
+		cfg:     cfg.withDefaults(),
+		sensors: make(map[string]*sensorState),
+	}
+}
+
+// Plan folds one flush generation's sketch into the sensor's decayed
+// state and returns the sort-path decision for that sensor's chunk.
+func (p *Planner) Plan(sensor string, sk Snapshot, chunkLen int) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	st := p.sensors[sensor]
+	if st == nil {
+		// A large prime stride spreads the per-sensor anchors across
+		// residues of any small block size.
+		p.phase += 7919
+		st = &sensorState{phase: p.phase}
+		p.sensors[sensor] = st
+	}
+	st.flushes++
+	d := Decision{Phase: st.phase}
+
+	// Fold the generation in under exponential decay.
+	decay := p.cfg.Decay
+	st.n = decay*st.n + float64(sk.N)
+	st.ooo = decay*st.ooo + float64(sk.OOO)
+	for i := range st.late {
+		st.late[i] = decay*st.late[i] + float64(sk.Late[i])
+	}
+	if sk.N >= 2 {
+		iv := sk.Interval()
+		if st.interval == 0 {
+			st.interval = iv
+		} else {
+			st.interval = decay*st.interval + (1-decay)*iv
+		}
+	}
+
+	if st.n < p.cfg.MinSamples {
+		// Not enough signal: default routing, default search.
+		d.UseFlat = chunkLen >= p.cfg.FlatMinLen
+		st.agree = 0
+		st.lastL = 0
+		return d
+	}
+	d.Sketched = true
+
+	// Per-sensor flat-vs-interface routing: a chunk the sketch knows
+	// to be dirty takes the flat kernel from FlatDirtyMinLen up, a
+	// near-clean one only from the static threshold up, and tiny
+	// chunks stay on the in-place interface path.
+	disorder := st.ooo / st.n
+	if disorder >= p.cfg.MinDisorderForFlat {
+		d.UseFlat = chunkLen >= p.cfg.FlatDirtyMinLen
+	} else {
+		d.UseFlat = chunkLen >= p.cfg.FlatMinLen
+	}
+
+	pred := p.predictL(st)
+	// Seed the search at half the prediction: one cheap estimate
+	// below the target confirms it from underneath, and an
+	// overestimated sketch cannot pin an oversized L because the
+	// doubling search never descends.
+	seed := pred / 2
+	if seed < p.cfg.L0 {
+		seed = p.cfg.L0
+	}
+	// Pinning keys on search stability — the same L confirmed
+	// StableRuns times — with the prediction as a drift tripwire only:
+	// the histogram-derived pred routinely sits a factor 2-4 off the
+	// searched L (the histogram sees lateness, the search sees the
+	// realized permutation), so demanding exact agreement would block
+	// pinning on perfectly stationary sensors. A prediction that moves
+	// outside the factor-2 band around the confirmed L signals a
+	// distribution shift and drops the sensor back to a seeded search
+	// — kept tight so a burst→calm transition unpins within a couple
+	// of flushes instead of sorting calm chunks at the burst's L. The
+	// pinned value is the search-confirmed lastL: measurement trumps
+	// prediction.
+	if st.agree >= p.cfg.StableRuns &&
+		pred <= st.lastL*2 && st.lastL <= pred*2 &&
+		st.flushes%p.cfg.RevalidateEvery != 0 {
+		// Stable and not a revalidation turn: skip the search. The
+		// default search would have tested L0, 2L0, …, lastL — count
+		// those scans as saved.
+		d.FixedL = st.lastL
+		d.SavedIterations = log2Ratio(st.lastL, p.cfg.L0) + 1
+		return d
+	}
+	d.SeedL = seed
+	d.SavedIterations = log2Ratio(seed, p.cfg.L0)
+	return d
+}
+
+// Observe feeds back the result of a real (seeded or default) search:
+// measurement trumps prediction, so stability is counted on confirmed
+// block sizes only. Decisions that skipped the search must not call
+// Observe — a pinned L confirming itself would be circular.
+//
+// A result one power of 2 away from the last still counts as
+// agreement: the search flaps between adjacent powers exactly when
+// α̃ sits at Θ for one of them, which is also when the two block
+// sizes cost nearly the same — resetting stability there would block
+// pinning on sensors that are stationary in every way that matters.
+// The pin keeps the larger of the two: oversizing by one power costs
+// a slightly deeper block sort, undersizing can explode merge work.
+func (p *Planner) Observe(sensor string, chosenL int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.sensors[sensor]
+	if st == nil {
+		return
+	}
+	switch {
+	case chosenL == st.lastL:
+		st.agree++
+	case chosenL == st.lastL*2:
+		st.agree++
+		st.lastL = chosenL
+	case st.lastL > 1 && chosenL == st.lastL/2:
+		st.agree++
+	default:
+		st.agree = 0
+		st.lastL = chosenL
+	}
+}
+
+// predictL converts the decayed lateness histogram into the block size
+// the paper's search would pick: the smallest L = L0·2^k whose
+// predicted empirical IIR clears Θ. A point late by ℓ ticks sits
+// ≈ ℓ/interval records behind its in-order position, so
+// P(t_i > t_{i+L}) ≈ P(lateness > L·interval) — the histogram tail
+// above L·interval, with the straddling bucket interpolated linearly.
+func (p *Planner) predictL(st *sensorState) int {
+	L := p.cfg.L0
+	iv := st.interval
+	if iv < 1 {
+		iv = 1
+	}
+	for L < maxPredictL {
+		x := float64(L) * iv
+		if histTail(&st.late, x)/st.n < p.cfg.Theta {
+			break
+		}
+		L *= 2
+	}
+	return L
+}
+
+// histTail estimates how many histogram points exceed lateness x.
+// Buckets entirely above x count fully; the straddling bucket
+// contributes the linear fraction of its [2^i, 2^(i+1)) range above x.
+func histTail(late *[LateBuckets]float64, x float64) float64 {
+	var tail float64
+	for i := 0; i < LateBuckets; i++ {
+		if late[i] == 0 {
+			continue
+		}
+		lo := float64(int64(1) << uint(i))
+		hi := lo * 2
+		switch {
+		case lo > x:
+			tail += late[i]
+		case hi > x:
+			tail += late[i] * (hi - x) / (hi - lo)
+		}
+	}
+	return tail
+}
+
+// log2Ratio returns floor(log2(l / l0)) for l >= l0 > 0, the number of
+// doublings between them.
+func log2Ratio(l, l0 int) int {
+	if l <= l0 {
+		return 0
+	}
+	return bits.Len(uint(l/l0)) - 1
+}

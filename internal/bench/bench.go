@@ -230,6 +230,17 @@ type Result struct {
 	SelectorQueries    int64
 	FanoutSeries       int64
 	MaxFanoutWidth     int
+	// Adaptive sort-path planner counters, non-zero only when the
+	// target runs with engine.Config.AdaptiveSort.
+	AdaptiveSortEnabled bool
+	SketchSeededFlushes int64
+	SearchItersSaved    int64
+	AdaptiveFixedSorts  int64
+	AdaptiveSeededSorts int64
+	AdaptiveFlatRoutes  int64
+	AdaptiveIfaceRoutes int64
+	AdaptiveMinL        int64
+	AdaptiveMaxL        int64
 	// Ingest front-end counters (bounded dispatch queue, connection
 	// modes), non-zero only when the target is an rpc server.
 	IngestQueueCap int
@@ -469,6 +480,15 @@ func Run(target Target, cfg Config) (Result, error) {
 	res.SelectorQueries = st.SelectorQueries
 	res.FanoutSeries = st.FanoutSeries
 	res.MaxFanoutWidth = st.MaxFanoutWidth
+	res.AdaptiveSortEnabled = st.AdaptiveSortEnabled
+	res.SketchSeededFlushes = st.SketchSeededFlushes
+	res.SearchItersSaved = st.SearchItersSaved
+	res.AdaptiveFixedSorts = st.AdaptiveFixedSorts
+	res.AdaptiveSeededSorts = st.AdaptiveSeededSorts
+	res.AdaptiveFlatRoutes = st.AdaptiveFlatRoutes
+	res.AdaptiveIfaceRoutes = st.AdaptiveIfaceRoutes
+	res.AdaptiveMinL = st.AdaptiveMinL
+	res.AdaptiveMaxL = st.AdaptiveMaxL
 	res.IngestQueueCap = st.IngestQueueCap
 	res.IngestWorkers = st.IngestWorkers
 	res.IngestEnqueued = st.IngestEnqueued

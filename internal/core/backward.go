@@ -22,6 +22,11 @@ type Options struct {
 	// and uses the given L directly. The paper's parameter-tuning
 	// experiment (Figure 8b) drives this.
 	FixedBlockSize int
+	// SearchPhase anchors the block-size search's stride-L subsample
+	// at index SearchPhase mod L instead of index 0. 0 reproduces the
+	// paper's anchoring; the adaptive planner rotates it so repeated
+	// estimates are unbiased on periodic timestamp patterns.
+	SearchPhase int
 	// BlockSort sorts one block in place; nil selects QuicksortRange
 	// ("Quicksort is used in default and can be substituted",
 	// Section III-B).
@@ -83,7 +88,7 @@ func BackwardSort(s Sortable, opts Options) Trace {
 	// Phase 1: set block size (Algorithm 1 lines 1-8).
 	L := opts.FixedBlockSize
 	if L <= 0 {
-		L, tr.SearchIterations = setBlockSize(s, opts.InitialBlockSize, opts.Threshold)
+		L, tr.SearchIterations = setBlockSize(s, opts.InitialBlockSize, opts.Threshold, opts.SearchPhase)
 	}
 	if L > n {
 		L = n
@@ -109,47 +114,16 @@ func BackwardSort(s Sortable, opts Options) Trace {
 	return tr
 }
 
-// setBlockSize performs the iterative block-size search: starting at
-// L0 it estimates the empirical interval inversion ratio α̃_L by
-// down-sampling (Example 5) and doubles L while α̃_L ≥ Θ (Equation
-// 15). The scan touches n/L points per iteration, O(n/L0) in total
-// (Proposition 3).
-func setBlockSize(s Sortable, l0 int, theta float64) (L, iterations int) {
-	n := s.Len()
-	L = l0
-	for L <= n {
-		iterations++
-		alpha := empiricalIIR(s, L)
-		if alpha < theta {
-			break
-		}
-		L *= 2
-	}
-	if L > n {
-		L = n
-	}
-	return L, iterations
+// setBlockSize runs the shared block-size search (search.go) over the
+// Sortable's timestamp accessor.
+func setBlockSize(s Sortable, l0 int, theta float64, phase int) (L, iterations int) {
+	return searchBlockSize(s.Len(), s.Time, l0, DefaultInitialBlockSize, theta, phase)
 }
 
-// empiricalIIR estimates α̃_L from the stride-L subsample
-// t_0, t_L, t_2L, …: the fraction of consecutive sampled pairs that
-// are inverted. E[α̃_L] = E[α_L] = F̄_Δτ(L) (Proposition 2).
+// empiricalIIR estimates α̃_L from the phase-0 stride-L subsample
+// t_0, t_L, t_2L, … (Example 5 / Proposition 2).
 func empiricalIIR(s Sortable, L int) float64 {
-	n := s.Len()
-	pairs, inverted := 0, 0
-	prev := s.Time(0)
-	for i := L; i < n; i += L {
-		t := s.Time(i)
-		pairs++
-		if prev > t {
-			inverted++
-		}
-		prev = t
-	}
-	if pairs == 0 {
-		return 0
-	}
-	return float64(inverted) / float64(pairs)
+	return empiricalIIRAt(s.Len(), s.Time, L, 0)
 }
 
 // backwardMerge walks block boundaries from the last one backwards.

@@ -25,6 +25,10 @@ type FlatOptions struct {
 	// FixedBlockSize, when positive, skips the set-block-size search
 	// and uses the given L directly.
 	FixedBlockSize int
+	// SearchPhase anchors the block-size search's stride-L subsample
+	// at index SearchPhase mod L instead of index 0 (see
+	// Options.SearchPhase).
+	SearchPhase int
 	// Parallelism bounds the phase-2 block-sorting workers; values
 	// below 2 keep phase 2 on the calling goroutine. Phases 1 and 3
 	// are sequential regardless: the block-size scan is O(n/L0) and
@@ -117,7 +121,7 @@ func SortFlat[V any](times []int64, values []V, opts FlatOptions) Trace {
 	// Phase 1: set block size (Algorithm 1 lines 1-8).
 	L := opts.FixedBlockSize
 	if L <= 0 {
-		L, tr.SearchIterations = setBlockSizeFlat(times, opts.InitialBlockSize, opts.Threshold)
+		L, tr.SearchIterations = setBlockSizeFlat(times, opts.InitialBlockSize, opts.Threshold, opts.SearchPhase)
 	}
 	if L > n {
 		L = n
@@ -136,41 +140,10 @@ func SortFlat[V any](times []int64, values []V, opts FlatOptions) Trace {
 	return tr
 }
 
-// setBlockSizeFlat is setBlockSize over a flat timestamp slice.
-func setBlockSizeFlat(times []int64, l0 int, theta float64) (L, iterations int) {
-	n := len(times)
-	L = l0
-	for L <= n {
-		iterations++
-		if empiricalIIRFlat(times, L) < theta {
-			break
-		}
-		L *= 2
-	}
-	if L > n {
-		L = n
-	}
-	return L, iterations
-}
-
-// empiricalIIRFlat estimates α̃_L from the stride-L subsample of a
-// flat timestamp slice (Example 5 / Proposition 2).
-func empiricalIIRFlat(times []int64, L int) float64 {
-	n := len(times)
-	pairs, inverted := 0, 0
-	prev := times[0]
-	for i := L; i < n; i += L {
-		t := times[i]
-		pairs++
-		if prev > t {
-			inverted++
-		}
-		prev = t
-	}
-	if pairs == 0 {
-		return 0
-	}
-	return float64(inverted) / float64(pairs)
+// setBlockSizeFlat runs the shared block-size search (search.go) over
+// a flat timestamp slice.
+func setBlockSizeFlat(times []int64, l0 int, theta float64, phase int) (L, iterations int) {
+	return searchBlockSize(len(times), func(i int) int64 { return times[i] }, l0, DefaultInitialBlockSize, theta, phase)
 }
 
 // sortBlocksFlat sorts every L-sized block in place. Blocks are

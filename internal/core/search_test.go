@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/delay"
+)
+
+// TestSearchPathsPickIdenticalL is the property test guarding the
+// deduplicated block-size search: for identical input, the interface
+// path (setBlockSize over a Sortable) and the flat kernel
+// (setBlockSizeFlat over a slice) must pick the identical L with the
+// identical iteration count, across delay scenarios and phases.
+func TestSearchPathsPickIdenticalL(t *testing.T) {
+	scenarios := []struct {
+		name string
+		d    delay.Distribution
+	}{
+		{"constant0", delay.Constant{}},
+		{"exp2", delay.Exponential{Lambda: 2}},
+		{"exp0.1", delay.Exponential{Lambda: 0.1}},
+		{"absnormal", delay.AbsNormal{Mu: 1, Sigma: 2}},
+		{"lognormal", delay.LogNormal{Mu: 1, Sigma: 2}},
+		{"uniform", delay.DiscreteUniform{K: 64}},
+		{"pareto", delay.Truncated{Inner: delay.Pareto{Xm: 1, Alpha: 1.1}, Max: 5000}},
+		{"clockskew", delay.ClockSkew{P: 0.3, Skew: 200, Jitter: 2}},
+		{"mixture", delay.Mixture{P: 0.9, A: delay.Constant{}, B: delay.Exponential{Lambda: 0.05}}},
+	}
+	sizes := []int{2, 5, 100, 4096, 100000}
+	for _, sc := range scenarios {
+		for _, n := range sizes {
+			s := dataset.Generate(sc.name, n, sc.d, 42)
+			times := s.Times
+			for _, phase := range []int{0, 1, 3, 17} {
+				wantL, wantIters := setBlockSizeFlat(times, DefaultInitialBlockSize, DefaultThreshold, phase)
+				p := NewPairs(append([]int64(nil), times...), make([]float64, n))
+				gotL, gotIters := setBlockSize(p, DefaultInitialBlockSize, DefaultThreshold, phase)
+				if gotL != wantL || gotIters != wantIters {
+					t.Errorf("%s n=%d phase=%d: interface picked L=%d in %d iters, flat picked L=%d in %d iters",
+						sc.name, n, phase, gotL, gotIters, wantL, wantIters)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchPhaseZeroMatchesPaperAnchor pins the refactor to the
+// paper's semantics: with phase 0 the shared estimator must equal the
+// original t_0, t_L, t_2L, … subsample on the paper's Figure 3
+// sequence (α̃_3 = 0.25, Example 5).
+func TestSearchPhaseZeroMatchesPaperAnchor(t *testing.T) {
+	fig3 := []int64{4, 3, 9, 8, 5, 6, 11, 1, 12, 7, 15, 2, 16, 17, 18}
+	at := func(i int) int64 { return fig3[i] }
+	if got := empiricalIIRAt(len(fig3), at, 3, 0); got != 0.25 {
+		t.Fatalf("phase-0 α̃_3 = %g, want 0.25", got)
+	}
+	// Out-of-range L values yield 0 pairs, reported as ratio 0.
+	if got := empiricalIIRAt(len(fig3), at, len(fig3), 0); got != 0 {
+		t.Fatalf("α̃ at L=n should be 0, got %g", got)
+	}
+	if got := empiricalIIRAt(len(fig3), at, 100, 0); got != 0 {
+		t.Fatalf("α̃ beyond n should be 0, got %g", got)
+	}
+}

@@ -78,6 +78,36 @@ func Generate(name string, n int, d delay.Distribution, seed int64) *Series {
 	return s
 }
 
+// GenerateSegmented builds an n-point series whose delay distribution
+// changes over time: the generation axis is split into len(segments)
+// equal spans and points in span k draw their delay from segments[k].
+// Unlike Generate's i.i.d. delays, this produces the *drifting*
+// disorder regimes (deployments re-routed, networks degrading, clocks
+// stepping) that a static sort configuration cannot track.
+func GenerateSegmented(name string, n int, segments []delay.Distribution, seed int64) *Series {
+	r := rand.New(rand.NewSource(seed))
+	type point struct {
+		gen     int64
+		arrival float64
+	}
+	pts := make([]point, n)
+	for i := range pts {
+		seg := i * len(segments) / n
+		if seg >= len(segments) {
+			seg = len(segments) - 1
+		}
+		tau := segments[seg].Sample(r)
+		pts[i] = point{gen: int64(i) * scale, arrival: float64(i) + tau}
+	}
+	sort.SliceStable(pts, func(a, b int) bool { return pts[a].arrival < pts[b].arrival })
+	s := &Series{Name: name, Times: make([]int64, n), Values: make([]float64, n)}
+	for i, p := range pts {
+		s.Times[i] = p.gen
+		s.Values[i] = Signal(p.gen)
+	}
+	return s
+}
+
 // Signal is the deterministic value signal used by all generated
 // datasets: a blend of two sines plus a slow trend. Being a pure
 // function of the timestamp, it lets tests verify that (time, value)
@@ -142,6 +172,52 @@ func SamsungS10(n int, seed int64) *Series {
 	return s
 }
 
+// DriftClockSkew is a drifting clock-skew scenario: a device fleet
+// starts nearly synchronized, then one device's clock steps badly out
+// and is later corrected. The right block size swings by two orders of
+// magnitude between segments, so any single static L is wrong most of
+// the run.
+func DriftClockSkew(n int, seed int64) *Series {
+	return GenerateSegmented("drift-clockskew", n, []delay.Distribution{
+		delay.ClockSkew{P: 0.05, Skew: 4, Jitter: 0.5},
+		delay.ClockSkew{P: 0.35, Skew: 600, Jitter: 4},
+		delay.ClockSkew{P: 0.35, Skew: 600, Jitter: 4},
+		delay.ClockSkew{P: 0.05, Skew: 4, Jitter: 0.5},
+	}, seed)
+}
+
+// ParetoBursts alternates calm, nearly ordered traffic with
+// heavy-tailed outage backlogs (truncated Pareto): the bursty segments
+// need a large block size, the calm ones barely need sorting at all.
+// The backlog floor Xm = 32 models whole outage windows replayed at
+// once: every backlogged point lands tens to thousands of positions
+// out of place, exactly the regime where a small pinned block size
+// drowns in merge work.
+func ParetoBursts(n int, seed int64) *Series {
+	calm := delay.Mixture{P: 0.98, A: delay.Constant{C: 0}, B: delay.DiscreteUniform{K: 6}}
+	burst := delay.Truncated{Inner: delay.Pareto{Xm: 32, Alpha: 0.9}, Max: 3000}
+	return GenerateSegmented("pareto-bursts", n, []delay.Distribution{
+		calm, burst, calm, burst, calm,
+	}, seed)
+}
+
+// DriftMixture is a time-varying mixture: the fraction of delayed
+// points and their delay envelope both grow over the run, as when an
+// ingest path slowly saturates — ending fully saturated, where every
+// point is delayed and ordering is effectively random within the
+// backlog window. The saturated tail is the regime that punishes a
+// small pinned block size hardest: nearly every block boundary
+// overlaps nearly the whole sorted suffix.
+func DriftMixture(n int, seed int64) *Series {
+	return GenerateSegmented("drift-mixture", n, []delay.Distribution{
+		delay.Mixture{P: 0.99, A: delay.Constant{C: 0}, B: delay.DiscreteUniform{K: 8}},
+		delay.Mixture{P: 0.90, A: delay.Constant{C: 0}, B: delay.DiscreteUniform{K: 64}},
+		delay.Mixture{P: 0.75, A: delay.Constant{C: 0}, B: delay.DiscreteUniform{K: 512}},
+		delay.Mixture{P: 0.60, A: delay.Constant{C: 0}, B: delay.DiscreteUniform{K: 2048}},
+		delay.DiscreteUniform{K: 4096},
+	}, seed)
+}
+
 // ByName returns the named dataset generator used across the
 // experiment drivers. Recognized names are the paper's dataset labels.
 func ByName(name string, n int, seed int64) (*Series, bool) {
@@ -156,8 +232,20 @@ func ByName(name string, n int, seed int64) (*Series, bool) {
 		return SamsungS10(n, seed), true
 	case "ordered":
 		return Ordered(n, seed), true
+	case "drift-clockskew":
+		return DriftClockSkew(n, seed), true
+	case "pareto-bursts":
+		return ParetoBursts(n, seed), true
+	case "drift-mixture":
+		return DriftMixture(n, seed), true
 	}
 	return nil, false
+}
+
+// DriftingNames lists the drifting delay scenarios used by the
+// adaptive-sort benchmarks; none of them is i.i.d. over the run.
+func DriftingNames() []string {
+	return []string{"drift-clockskew", "pareto-bursts", "drift-mixture"}
 }
 
 // RealWorldNames lists the simulated real-world datasets in the order

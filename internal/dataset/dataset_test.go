@@ -114,17 +114,17 @@ func TestSimulatedRealWorldIIRShapes(t *testing.T) {
 	// disorder persists well beyond 2^8 but dies by 2^16.
 	n := 200000
 	sam := SamsungS10(n, 1)
-	if r := inversion.Ratio(sam.Times, 64); r != 0 {
+	if r, _ := inversion.Ratio(sam.Times, 64); r != 0 {
 		t.Fatalf("samsung-s10 IIR at L=64 should be 0, got %g", r)
 	}
-	if r := inversion.Ratio(sam.Times, 1); r == 0 {
+	if r, _ := inversion.Ratio(sam.Times, 1); r == 0 {
 		t.Fatal("samsung-s10 should have some disorder at L=1")
 	}
 	cb := CitiBike201808(n, 1)
-	if r := inversion.Ratio(cb.Times, 256); r == 0 {
+	if r, _ := inversion.Ratio(cb.Times, 256); r == 0 {
 		t.Fatal("citibike-201808 IIR at L=256 should still be positive")
 	}
-	if r := inversion.Ratio(cb.Times, 1<<17); r != 0 {
+	if r, _ := inversion.Ratio(cb.Times, 1<<17); r != 0 {
 		t.Fatalf("citibike-201808 IIR at L=2^17 should be 0, got %g", r)
 	}
 }
@@ -136,7 +136,7 @@ func TestProposition2OnAbsNormal(t *testing.T) {
 	d := delay.AbsNormal{Mu: 1, Sigma: 2}
 	s := Generate("absnormal-p2", 300000, d, 21)
 	for _, L := range []int{1, 2, 4} {
-		got := inversion.Ratio(s.Times, L)
+		got, _ := inversion.Ratio(s.Times, L)
 		want := delay.EmpiricalDeltaTauTail(d, float64(L), 400000, 22)
 		if got < want*0.85-0.002 || got > want*1.15+0.002 {
 			t.Errorf("L=%d: series IIR %g vs Δτ tail %g", L, got, want)

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// oooSeries builds an out-of-order batch under the paper's delay
+// model: generation timestamps are a distinct 10-tick grid, each point
+// is delayed by up to maxLate ticks with probability 0.3, and the
+// batch is emitted in arrival order. Randomized delays matter twice
+// over: a strictly periodic pattern phase-aliases the stride-L
+// estimator (the bias satellite tests cover in internal/inversion),
+// and distinct timestamps keep equal-time tie order from differing
+// between sort paths. Values are a pure function of the timestamp so
+// result comparisons catch any pairing mistake.
+func oooSeries(start int64, n int, maxLate int64, r *rand.Rand) ([]int64, []float64) {
+	return oooSeriesBand(start, n, 1, maxLate, r)
+}
+
+// oooSeriesBand is oooSeries with delays drawn from [minLate, maxLate]
+// instead of [1, maxLate]. A narrow band gives the delay distribution
+// a sharp cliff, so the block-size search lands on the same L every
+// flush — what the stability tests need.
+func oooSeriesBand(start int64, n int, minLate, maxLate int64, r *rand.Rand) ([]int64, []float64) {
+	type pt struct{ gen, arr int64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		gen := start + int64(i)*10
+		arr := gen
+		if maxLate > 0 && r.Float64() < 0.3 {
+			arr += minLate + r.Int63n(maxLate-minLate+1)
+		}
+		pts[i] = pt{gen, arr}
+	}
+	sort.SliceStable(pts, func(a, b int) bool { return pts[a].arr < pts[b].arr })
+	ts := make([]int64, n)
+	vs := make([]float64, n)
+	for i, p := range pts {
+		ts[i] = p.gen
+		vs[i] = float64(p.gen % 1009)
+	}
+	return ts, vs
+}
+
+// TestAdaptiveMatchesStaticResults is the adaptive path's correctness
+// gate: with heterogeneous per-sensor disorder and many flush
+// generations, an adaptive engine must return exactly the same query
+// results as a static one — the planner may only change how sorts run,
+// never what they produce.
+func TestAdaptiveMatchesStaticResults(t *testing.T) {
+	open := func(adaptive bool) *Engine {
+		e, err := Open(Config{
+			Dir:          t.TempDir(),
+			MemTableSize: 1 << 20, // flushes forced explicitly
+			SyncFlush:    true,
+			AdaptiveSort: adaptive,
+			// Low threshold so both routes get real traffic.
+			FlatSortThreshold: 256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ad, st := open(true), open(false)
+	defer ad.Close()
+	defer st.Close()
+
+	r := rand.New(rand.NewSource(11))
+	sensors := []struct {
+		name string
+		late int64
+		n    int // 0 = random 500..2000
+	}{
+		// "short" stays under the planner's tiny-chunk flat floor, so
+		// it must route to the interface path.
+		{"clean", 0, 0}, {"mild", 15, 0}, {"heavy", 2000, 0},
+		{"extreme", 50000, 0}, {"short", 15, 20},
+	}
+	for round := 0; round < 6; round++ {
+		for _, sc := range sensors {
+			n := sc.n
+			if n == 0 {
+				n = 500 + r.Intn(1500)
+			}
+			ts, vs := oooSeries(int64(round)*1_000_000, n, sc.late, r)
+			for _, e := range []*Engine{ad, st} {
+				if err := e.InsertBatch(sc.name, ts, vs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ad.Flush()
+		st.Flush()
+	}
+	for _, sc := range sensors {
+		a, err := ad.Query(sc.name, -1_000_000, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := st.Query(sc.name, -1_000_000, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: adaptive returned %d records, static %d", sc.name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs: adaptive %+v static %+v", sc.name, i, a[i], b[i])
+			}
+		}
+	}
+
+	s := ad.Stats()
+	if !s.AdaptiveSortEnabled {
+		t.Fatal("adaptive engine reports AdaptiveSortEnabled=false")
+	}
+	if s.SketchSeededFlushes == 0 {
+		t.Fatalf("no sketch-seeded flushes after 6 rounds: %+v", s)
+	}
+	if s.SearchItersSaved == 0 {
+		t.Fatalf("no search iterations saved after 6 stationary rounds: %+v", s)
+	}
+	if s.AdaptiveFlatRoutes == 0 || s.AdaptiveIfaceRoutes == 0 {
+		t.Fatalf("per-sensor routing never used both paths: flat=%d iface=%d",
+			s.AdaptiveFlatRoutes, s.AdaptiveIfaceRoutes)
+	}
+	if s.AdaptiveMinL <= 0 || s.AdaptiveMaxL < s.AdaptiveMinL {
+		t.Fatalf("chosen-L range [%d, %d] malformed", s.AdaptiveMinL, s.AdaptiveMaxL)
+	}
+	// Heterogeneous lateness must spread the chosen block sizes: the
+	// "extreme" sensor needs a far larger L than the "mild" one.
+	if s.AdaptiveMaxL <= s.AdaptiveMinL {
+		t.Fatalf("chosen-L histogram is flat [%d, %d] despite 4 disorder profiles",
+			s.AdaptiveMinL, s.AdaptiveMaxL)
+	}
+	if st.Stats().AdaptiveSortEnabled || st.Stats().SketchSeededFlushes != 0 {
+		t.Fatal("static engine reports adaptive activity")
+	}
+}
+
+// TestAdaptiveStabilizesToFixedL drives one stationary sensor through
+// enough generations that the planner pins the block size and skips
+// the search outright.
+func TestAdaptiveStabilizesToFixedL(t *testing.T) {
+	e, err := Open(Config{
+		Dir:          t.TempDir(),
+		MemTableSize: 1 << 20,
+		SyncFlush:    true,
+		AdaptiveSort: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 10; round++ {
+		// Delays banded in [900, 1000) ticks: α̃ is decisively above Θ
+		// at L=64 and exactly zero at L=128, so every search confirms
+		// the same block size and the prediction can pin it.
+		ts, vs := oooSeriesBand(int64(round)*1_000_000, 2000, 900, 999, r)
+		if err := e.InsertBatch("s", ts, vs); err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+	}
+	s := e.Stats()
+	if s.AdaptiveFixedSorts == 0 {
+		t.Fatalf("planner never pinned L on a stationary sensor: %+v", s)
+	}
+	if s.AdaptiveSeededSorts == 0 {
+		t.Fatalf("planner never ran a seeded search: %+v", s)
+	}
+}
+
+// TestAdaptiveSketchStress is the -race gate for the tentpole's shared
+// state: concurrent inserters, flushers, queriers and a sketch reader
+// hammer one adaptive engine; every sketch snapshot observed mid-run —
+// working and mid-flush generations alike — must report a disorder
+// estimate in [0, 1], and the post-flush working memtable must start
+// with fresh sketch state.
+func TestAdaptiveSketchStress(t *testing.T) {
+	e, err := Open(Config{
+		Dir:          t.TempDir(),
+		MemTableSize: 4096,
+		AdaptiveSort: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, writers+2)
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sensor := fmt.Sprintf("s%d", w)
+			r := rand.New(rand.NewSource(int64(w)))
+			for base := int64(0); ; base += 256 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts, vs := oooSeries(base*10, 256, int64(1+r.Intn(5000)), r)
+				if err := e.InsertBatch(sensor, ts, vs); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Flush()
+			if _, err := e.Query("s0", 0, 1<<40); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// The sketch reader: snapshots every live generation's sketches
+	// under the engine lock — exactly what the planner does mid-flush —
+	// and checks the estimates stay in range.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.mu.Lock()
+			for w := 0; w < writers; w++ {
+				sensor := fmt.Sprintf("s%d", w)
+				if sk, ok := e.working.Sketch(sensor); ok {
+					if f := sk.DisorderFraction(); f < 0 || f > 1 {
+						errc <- fmt.Errorf("working sketch %s disorder %g out of [0,1]", sensor, f)
+					}
+				}
+				for _, unit := range e.flushing {
+					if sk, ok := unit.seq.Sketch(sensor); ok {
+						if f := sk.DisorderFraction(); f < 0 || f > 1 {
+							errc <- fmt.Errorf("mid-flush sketch %s disorder %g out of [0,1]", sensor, f)
+						}
+					}
+				}
+			}
+			e.mu.Unlock()
+		}
+	}()
+
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case err := <-errc:
+		close(stop)
+		<-wgDone
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		close(stop)
+		<-wgDone
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Reset-on-rotation: after a final flush the fresh working memtable
+	// must carry no sketch state for any sensor until new writes land.
+	e.Flush()
+	e.WaitFlushes()
+	e.mu.Lock()
+	for w := 0; w < writers; w++ {
+		sensor := fmt.Sprintf("s%d", w)
+		if sk, ok := e.working.Sketch(sensor); ok && sk.N != 0 {
+			e.mu.Unlock()
+			t.Fatalf("sketch state leaked across flush rotation: %s has N=%d", sensor, sk.N)
+		}
+	}
+	e.mu.Unlock()
+	if err := e.Insert("s0", 1<<41, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	sk, ok := e.working.Sketch("s0")
+	e.mu.Unlock()
+	if !ok || sk.N != 1 || sk.OOO != 0 {
+		t.Fatalf("fresh sketch after rotation should be N=1 OOO=0, got %+v ok=%v", sk, ok)
+	}
+}

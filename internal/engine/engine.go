@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/faultfs"
 	"repro/internal/memtable"
@@ -120,6 +121,23 @@ type Config struct {
 	// goroutine, which composes predictably with FlushWorkers — raise
 	// it when flushes are the bottleneck and cores are spare).
 	SortParallelism int
+	// FixedBlockSize, when positive, pins the backward-sort block size
+	// for every flush sort instead of running the doubling search per
+	// chunk — the fully static configuration the adaptive planner is
+	// benchmarked against. Only meaningful for the "backward"
+	// algorithm; ignored (with the search kept) otherwise, and ignored
+	// when AdaptiveSort is on.
+	FixedBlockSize int
+	// AdaptiveSort self-tunes the flush sort path per sensor from
+	// online disorder sketches (internal/adaptive): every insert feeds
+	// a per-sensor O(1) sketch, and each flush plans the sort — seed
+	// the block-size search with the sketch-predicted L, skip the
+	// search entirely once the prediction is stable, and route
+	// flat-vs-interface per sensor instead of by the global
+	// FlatSortThreshold. Off by default, and only the "backward"
+	// algorithm supports it; cmd/repro leaves it off so the reproduced
+	// figures keep measuring the paper's static configuration.
+	AdaptiveSort bool
 	// LegacyLockedQueries restores IoTDB's query-blocks-writes
 	// behavior: queries sort the live working TVLists in place while
 	// holding the engine lock. Off by default — queries snapshot under
@@ -217,6 +235,20 @@ type Stats struct {
 	InterfaceSortMillis float64
 	SortParallelism     int // resolved phase-2 worker bound
 	FlatSortThreshold   int // resolved routing threshold (<0 = kernel off)
+	// Adaptive sort-path counters (Config.AdaptiveSort): how often the
+	// per-sensor disorder sketches informed flush sorts, the doubling
+	// -search scan iterations they avoided, the per-sensor routing
+	// outcomes, and the range of block sizes the planned sorts ran
+	// with (a two-sided histogram summary; 0 = no planned sort yet).
+	AdaptiveSortEnabled bool
+	SketchSeededFlushes int64 // flushes with ≥1 sketch-informed sort decision
+	SearchItersSaved    int64 // block-size search iterations skipped via seeding/pinning
+	AdaptiveFixedSorts  int64 // planned sorts that pinned L and skipped the search
+	AdaptiveSeededSorts int64 // planned sorts whose search started at the sketch seed
+	AdaptiveFlatRoutes  int64 // planned sorts routed per-sensor to the flat kernel
+	AdaptiveIfaceRoutes int64 // planned sorts routed per-sensor to the interface path
+	AdaptiveMinL        int64 // smallest L a planned sort ran with
+	AdaptiveMaxL        int64 // largest L a planned sort ran with
 	// Engine-lock contention, recorded only when an acquisition had to
 	// wait (the uncontended fast path is not counted).
 	LockWaits         int64
@@ -316,6 +348,12 @@ type Engine struct {
 	flatThreshold int
 	flatOpts      core.FlatOptions
 
+	// Adaptive sort path (Config.AdaptiveSort): the planner persists
+	// per-sensor decayed disorder state across flush generations;
+	// per-generation sketches live in the memtables.
+	adaptive bool
+	planner  *adaptive.Planner
+
 	// mu is the engine lock. It guards the mutable engine state: the
 	// working memtables, the flushing list, the files list, the
 	// watermarks and the sequence counters. Unless
@@ -358,6 +396,17 @@ type Engine struct {
 	ifaceSorts     atomic.Int64
 	flatSortNanos  atomic.Int64
 	ifaceSortNanos atomic.Int64
+
+	// Adaptive sort-path observability (lock-free; planned flush sorts
+	// feed them through sortChunkPlanned).
+	sketchSeededFlushes atomic.Int64
+	searchItersSaved    atomic.Int64
+	adaptiveFixedSorts  atomic.Int64
+	adaptiveSeededSorts atomic.Int64
+	adaptiveFlatRoutes  atomic.Int64
+	adaptiveIfaceRoutes atomic.Int64
+	adaptiveMinL        atomic.Int64 // 0 = no adaptive sort yet
+	adaptiveMaxL        atomic.Int64
 
 	// Aggregation-pushdown observability (lock-free; Query and
 	// AggregateWindows feed them).
@@ -459,6 +508,12 @@ func Open(cfg Config) (*Engine, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown sort algorithm %q", cfg.Algorithm)
 	}
+	if cfg.FixedBlockSize > 0 && cfg.Algorithm == "backward" && !cfg.AdaptiveSort {
+		// Fully static block size: pin L on the interface path too (the
+		// flat kernel gets it through flatOpts below).
+		fixed := core.Options{FixedBlockSize: cfg.FixedBlockSize}
+		algo = func(s core.Sortable) { core.BackwardSort(s, fixed) }
+	}
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("engine: Dir is required")
 	}
@@ -519,13 +574,19 @@ func Open(cfg Config) (*Engine, error) {
 		walAlways:     cfg.WAL && cfg.WALSync == WALSyncAlways,
 		useFlat:       flatThreshold > 0 && cfg.Algorithm == "backward",
 		flatThreshold: flatThreshold,
-		flatOpts:      core.FlatOptions{Parallelism: sortPar},
+		flatOpts:      core.FlatOptions{Parallelism: sortPar, FixedBlockSize: fixedBlock(cfg)},
+		adaptive:      cfg.AdaptiveSort && cfg.Algorithm == "backward",
 		working:       memtable.New(cfg.ArrayLen),
 		workingUn:     memtable.New(cfg.ArrayLen),
 		lastFlushed:   make(map[string]int64),
 		latest:        make(map[string]int64),
 		blockPoints:   blockPoints,
 		partitioned:   cfg.PartitionDuration > 0,
+	}
+	if e.adaptive {
+		e.planner = adaptive.NewPlanner(adaptive.Config{FlatMinLen: flatThreshold})
+		e.working.TrackDisorder()
+		e.workingUn.TrackDisorder()
 	}
 	if cfg.SharedPool != nil {
 		e.pool = cfg.SharedPool.p
@@ -977,6 +1038,13 @@ func (e *Engine) rotateLocked() *flushUnit {
 	}
 	e.working = memtable.New(e.cfg.ArrayLen)
 	e.workingUn = memtable.New(e.cfg.ArrayLen)
+	if e.adaptive {
+		// Fresh memtables start fresh sketches: per-generation disorder
+		// state never leaks across the rotation — the planner holds the
+		// decayed cross-generation memory.
+		e.working.TrackDisorder()
+		e.workingUn.TrackDisorder()
+	}
 	return unit
 }
 
@@ -1073,6 +1141,7 @@ func (e *Engine) writeChunkFile(path string, mkdir bool, write func(w *tsfile.Wr
 // Open) — and records the error for Query/Close to surface.
 func (e *Engine) drain(unit *flushUnit) {
 	var sortNanos, encodeNanos atomic.Int64
+	var sketchInformed atomic.Bool
 	var writeDur time.Duration
 	var handles []*fileHandle
 	fail := func(err error) {
@@ -1108,7 +1177,15 @@ func (e *Engine) drain(unit *flushUnit) {
 				chunk := mt.Chunk(sensor)
 				mu := unit.lockChunk(chunk)
 				mu.Lock()
-				sortNanos.Add(e.sortChunk(chunk))
+				if sk, ok := mt.Sketch(sensor); e.adaptive && ok {
+					dec := e.planner.Plan(sensor, sk, chunk.Len())
+					if dec.Sketched {
+						sketchInformed.Store(true)
+					}
+					sortNanos.Add(e.sortChunkPlanned(sensor, chunk, dec))
+				} else {
+					sortNanos.Add(e.sortChunk(chunk))
+				}
 				ts, vs := chunk.ToSlices()
 				mu.Unlock()
 				t1 := time.Now()
@@ -1219,6 +1296,10 @@ func (e *Engine) drain(unit *flushUnit) {
 		if err := unit.walSeg.Remove(); err != nil {
 			e.recordFlushErr(err)
 		}
+	}
+
+	if sketchInformed.Load() {
+		e.sketchSeededFlushes.Add(1)
 	}
 
 	e.statsMu.Lock()
@@ -1368,6 +1449,15 @@ func (e *Engine) Stats() Stats {
 	} else {
 		s.FlatSortThreshold = -1
 	}
+	s.AdaptiveSortEnabled = e.adaptive
+	s.SketchSeededFlushes = e.sketchSeededFlushes.Load()
+	s.SearchItersSaved = e.searchItersSaved.Load()
+	s.AdaptiveFixedSorts = e.adaptiveFixedSorts.Load()
+	s.AdaptiveSeededSorts = e.adaptiveSeededSorts.Load()
+	s.AdaptiveFlatRoutes = e.adaptiveFlatRoutes.Load()
+	s.AdaptiveIfaceRoutes = e.adaptiveIfaceRoutes.Load()
+	s.AdaptiveMinL = e.adaptiveMinL.Load()
+	s.AdaptiveMaxL = e.adaptiveMaxL.Load()
 	s.QueriesBlocked = e.queriesBlocked.Load()
 	s.LockWaits = e.lockHist.n.Load()
 	if s.LockWaits > 0 {
@@ -1481,6 +1571,16 @@ func (e *Engine) Close() error {
 
 // Algorithm returns the engine's configured sorting algorithm name.
 func (e *Engine) Algorithm() string { return e.cfg.Algorithm }
+
+// fixedBlock resolves Config.FixedBlockSize: the static pin applies
+// only to the "backward" algorithm, and the adaptive planner overrides
+// it per sensor.
+func fixedBlock(cfg Config) int {
+	if cfg.FixedBlockSize > 0 && cfg.Algorithm == "backward" && !cfg.AdaptiveSort {
+		return cfg.FixedBlockSize
+	}
+	return 0
+}
 
 // sortableGuard: the engine relies on TVList implementing
 // core.Sortable; keep the dependency explicit.

@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adaptive"
+	"repro/internal/core"
 	"repro/internal/tvlist"
 )
 
@@ -108,4 +110,94 @@ func (e *Engine) sortChunk(c *tvlist.TVList[float64]) int64 {
 	e.ifaceSorts.Add(1)
 	e.ifaceSortNanos.Add(d)
 	return d
+}
+
+// sortChunkPlanned is sortChunk for the adaptive path: the planner's
+// per-sensor decision chooses the kernel (flat vs interface) and the
+// block size (pinned, seeded, or default-searched), and the sort's
+// actual Trace is fed back so the planner counts stability on
+// confirmed measurements. Only the flush drain takes this path —
+// query-side snapshot sorts keep the static routing, where a planner
+// round-trip per read would buy nothing (the planner's state advances
+// once per flushed generation, not per query).
+func (e *Engine) sortChunkPlanned(sensor string, c *tvlist.TVList[float64], dec adaptive.Decision) int64 {
+	if c.Sorted() {
+		e.sortsSkipped.Add(1)
+		return 0
+	}
+	var tr core.Trace
+	t0 := time.Now()
+	var d int64
+	if dec.UseFlat && e.useFlat {
+		opts := e.flatOpts
+		opts.FixedBlockSize = dec.FixedL
+		opts.InitialBlockSize = dec.SeedL
+		opts.SearchPhase = dec.Phase
+		tr, _ = c.EnsureSortedFlatTrace(opts)
+		d = int64(time.Since(t0))
+		e.flatSorts.Add(1)
+		e.flatSortNanos.Add(d)
+		e.adaptiveFlatRoutes.Add(1)
+	} else {
+		// The adaptive flag requires the "backward" algorithm, so the
+		// interface path can call the kernel directly with the planned
+		// options instead of going through the parameterless registry
+		// entry in e.algo.
+		opts := core.Options{
+			FixedBlockSize:   dec.FixedL,
+			InitialBlockSize: dec.SeedL,
+			SearchPhase:      dec.Phase,
+		}
+		c.EnsureSorted(func(s core.Sortable) { tr = core.BackwardSort(s, opts) })
+		d = int64(time.Since(t0))
+		e.ifaceSorts.Add(1)
+		e.ifaceSortNanos.Add(d)
+		e.adaptiveIfaceRoutes.Add(1)
+	}
+	switch {
+	case dec.FixedL > 0:
+		// Search skipped on a stable prediction; no feedback — a
+		// pinned L confirming itself would be circular.
+		e.adaptiveFixedSorts.Add(1)
+		e.searchItersSaved.Add(int64(dec.SavedIterations))
+	case dec.SeedL > 0:
+		e.adaptiveSeededSorts.Add(1)
+		e.searchItersSaved.Add(int64(dec.SavedIterations))
+		e.planner.Observe(sensor, tr.BlockSize)
+	default:
+		// Default search (cold sensor): still feed the measured L back
+		// so stability can build.
+		e.planner.Observe(sensor, tr.BlockSize)
+	}
+	if tr.BlockSize > 0 {
+		atomicMin(&e.adaptiveMinL, int64(tr.BlockSize))
+		atomicMax(&e.adaptiveMaxL, int64(tr.BlockSize))
+	}
+	return d
+}
+
+// atomicMin lowers v to x unless v is already ≤ x; 0 means unset.
+func atomicMin(v *atomic.Int64, x int64) {
+	for {
+		old := v.Load()
+		if old != 0 && old <= x {
+			return
+		}
+		if v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+// atomicMax raises v to x unless v is already ≥ x.
+func atomicMax(v *atomic.Int64, x int64) {
+	for {
+		old := v.Load()
+		if old >= x {
+			return
+		}
+		if v.CompareAndSwap(old, x) {
+			return
+		}
+	}
 }

@@ -98,7 +98,7 @@ func Example6(sc Scale) *Table {
 	d := delay.Exponential{Lambda: 2}
 	s := dataset.Generate("exp2", sc.MCPoints, d, sc.Seed)
 	for _, L := range []int{1, 2, 5} {
-		emp := inversion.Ratio(s.Times, L)
+		emp, _ := inversion.Ratio(s.Times, L)
 		theo := d.DeltaTauTail(float64(L))
 		t.AddRow(fmt.Sprint(L), fmt.Sprintf("%.6g", emp), fmt.Sprintf("%.6g", theo))
 	}
@@ -170,7 +170,8 @@ func Fig8a(sc Scale) *Table {
 	for _, L := range blockSizes(0, 18, sc.TuneN) {
 		row := []string{fmt.Sprint(L)}
 		for _, s := range series {
-			row = append(row, fmt.Sprintf("%.3g", inversion.EmpiricalRatio(s.Times, L)))
+			alpha, _ := inversion.EmpiricalRatio(s.Times, L)
+			row = append(row, fmt.Sprintf("%.3g", alpha))
 		}
 		t.AddRow(row...)
 	}
@@ -384,8 +385,8 @@ func AblationIIREstimate(sc Scale) *Table {
 	}
 	s := algoSeries("lognormal", sc.TuneN, 1, 2, sc.Seed)
 	for _, L := range blockSizes(0, 12, sc.TuneN) {
-		exact := inversion.Ratio(s.Times, L)
-		emp := inversion.EmpiricalRatio(s.Times, L)
+		exact, _ := inversion.Ratio(s.Times, L)
+		emp, _ := inversion.EmpiricalRatio(s.Times, L)
 		t.AddRow(fmt.Sprint(L), fmt.Sprintf("%.5g", exact), fmt.Sprintf("%.5g", emp),
 			fmt.Sprintf("%.3g", math.Abs(exact-emp)))
 	}

@@ -73,13 +73,16 @@ func IntervalInversions(times []int64, L int) int64 {
 }
 
 // Ratio returns the exact interval inversion ratio α_L = C/(N−L)
-// (Definition 4). It returns 0 when there are no valid pairs.
-func Ratio(times []int64, L int) float64 {
+// (Definition 4). ok is false when there are no valid pairs (L <= 0 or
+// N <= L) — a ratio of 0 with ok == true means the series really is
+// clean at interval L, while ok == false means the signal is empty and
+// the caller must not treat it as "perfectly sorted".
+func Ratio(times []int64, L int) (alpha float64, ok bool) {
 	pairs := len(times) - L
 	if L <= 0 || pairs <= 0 {
-		return 0
+		return 0, false
 	}
-	return float64(IntervalInversions(times, L)) / float64(pairs)
+	return float64(IntervalInversions(times, L)) / float64(pairs), true
 }
 
 // EmpiricalRatio returns the down-sampled estimate α̃_L of Example 5:
@@ -87,24 +90,41 @@ func Ratio(times []int64, L int) float64 {
 // ratio is the fraction of consecutive sampled pairs that are
 // inverted. Each sampled pair (t_{jL}, t_{(j+1)L}) is L apart, so its
 // inversion probability is P(Δτ > L) and E[α̃_L] = E[α_L]
-// (Proposition 2) — at a scanning cost of only N/L.
-func EmpiricalRatio(times []int64, L int) float64 {
+// (Proposition 2) — at a scanning cost of only N/L. ok is false when
+// the subsample yields no pairs (L <= 0 or N <= L).
+func EmpiricalRatio(times []int64, L int) (alpha float64, ok bool) {
+	return EmpiricalRatioAt(times, L, 0)
+}
+
+// EmpiricalRatioAt is EmpiricalRatio with the subsample anchored at
+// index phase mod L instead of index 0: t_p, t_{p+L}, t_{p+2L}, ….
+// A fixed anchor is biased on periodic timestamp patterns whose period
+// divides L (the anchor can land only on the pattern's "clean" or only
+// on its "dirty" residue class); callers that estimate repeatedly —
+// the adaptive planner in particular — pass a rotating phase so the
+// estimates average over residue classes and converge to the exact
+// Ratio. ok is false when the offset subsample yields no pairs.
+func EmpiricalRatioAt(times []int64, L, phase int) (alpha float64, ok bool) {
 	n := len(times)
 	if L <= 0 || n <= L {
-		return 0
+		return 0, false
+	}
+	p := phase % L
+	if p < 0 {
+		p += L
 	}
 	pairs := 0
 	inverted := 0
-	for j := 0; (j+1)*L < n; j++ {
+	for j := p; j+L < n; j += L {
 		pairs++
-		if times[j*L] > times[(j+1)*L] {
+		if times[j] > times[j+L] {
 			inverted++
 		}
 	}
 	if pairs == 0 {
-		return 0
+		return 0, false
 	}
-	return float64(inverted) / float64(pairs)
+	return float64(inverted) / float64(pairs), true
 }
 
 // MeanOverlap estimates E(Q), the expected overlap length between

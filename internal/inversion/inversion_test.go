@@ -19,7 +19,7 @@ func TestExample4AdjacentInversions(t *testing.T) {
 	if c != 6 {
 		t.Fatalf("interval inversions at L=1: got %d, want 6", c)
 	}
-	if got, want := Ratio(fig3Sequence, 1), 6.0/14.0; math.Abs(got-want) > 1e-12 {
+	if got, want := mustRatio(t, fig3Sequence, 1), 6.0/14.0; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("α_1 = %g, want %g", got, want)
 	}
 }
@@ -31,16 +31,16 @@ func TestExample4LongerIntervals(t *testing.T) {
 	// long inversions where the paper's array has none, so we assert
 	// the value of *our* sequence here and the paper's α_5 = 0
 	// behaviour on a directly constructed array below.)
-	if got, want := Ratio(fig3Sequence, 3), 4.0/12.0; math.Abs(got-want) > 1e-12 {
+	if got, want := mustRatio(t, fig3Sequence, 3), 4.0/12.0; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("α_3 = %g, want %g", got, want)
 	}
-	if got, want := Ratio(fig3Sequence, 5), 2.0/10.0; math.Abs(got-want) > 1e-12 {
+	if got, want := mustRatio(t, fig3Sequence, 5), 2.0/10.0; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("α_5 = %g, want %g", got, want)
 	}
 	// A series whose delays never exceed 4 has α_5 = 0 by
 	// Proposition 2 (Δτ can never exceed the max delay).
 	bounded := []int64{2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11}
-	if got := Ratio(bounded, 5); got != 0 {
+	if got := mustRatio(t, bounded, 5); got != 0 {
 		t.Fatalf("bounded-delay α_5 = %g, want 0", got)
 	}
 }
@@ -48,10 +48,10 @@ func TestExample4LongerIntervals(t *testing.T) {
 func TestExample5EmpiricalRatio(t *testing.T) {
 	// Example 5: the stride-3 down-sampled estimate α̃_3 inspects 4
 	// consecutive sampled pairs of which 1 is inverted, and α̃_5 = 0.
-	if got, want := EmpiricalRatio(fig3Sequence, 3), 0.25; math.Abs(got-want) > 1e-12 {
+	if got, want := mustEmpirical(t, fig3Sequence, 3), 0.25; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("α̃_3 = %g, want %g", got, want)
 	}
-	if got := EmpiricalRatio(fig3Sequence, 5); got != 0 {
+	if got := mustEmpirical(t, fig3Sequence, 5); got != 0 {
 		t.Fatalf("α̃_5 = %g, want 0", got)
 	}
 }
@@ -109,17 +109,26 @@ func TestCountMatchesBruteForce(t *testing.T) {
 }
 
 func TestRatioEdgeCases(t *testing.T) {
-	if Ratio([]int64{1, 2}, 0) != 0 {
-		t.Fatal("L=0 should give ratio 0")
+	// Not-enough-data cases now report ok == false instead of a bare 0
+	// that was indistinguishable from "perfectly sorted".
+	if r, ok := Ratio([]int64{1, 2}, 0); ok || r != 0 {
+		t.Fatal("L=0 should give ratio 0, ok=false")
 	}
-	if Ratio([]int64{1, 2}, 5) != 0 {
-		t.Fatal("L>=N should give ratio 0")
+	if r, ok := Ratio([]int64{1, 2}, 5); ok || r != 0 {
+		t.Fatal("L>=N should give ratio 0, ok=false")
 	}
-	if EmpiricalRatio([]int64{1, 2}, 0) != 0 {
-		t.Fatal("empirical L=0 should give ratio 0")
+	if r, ok := EmpiricalRatio([]int64{1, 2}, 0); ok || r != 0 {
+		t.Fatal("empirical L=0 should give ratio 0, ok=false")
 	}
-	if EmpiricalRatio(nil, 3) != 0 {
-		t.Fatal("empirical of empty should give 0")
+	if r, ok := EmpiricalRatio(nil, 3); ok || r != 0 {
+		t.Fatal("empirical of empty should give 0, ok=false")
+	}
+	// A genuinely clean series still reports ok == true with ratio 0.
+	if r, ok := Ratio([]int64{1, 2, 3, 4}, 1); !ok || r != 0 {
+		t.Fatal("sorted series should give ratio 0, ok=true")
+	}
+	if r, ok := EmpiricalRatio([]int64{1, 2, 3, 4}, 1); !ok || r != 0 {
+		t.Fatal("sorted series empirical should give ratio 0, ok=true")
 	}
 }
 
@@ -149,8 +158,8 @@ func TestEmpiricalRatioUnbiasedOnRandom(t *testing.T) {
 		gen[i] = int64(ps[i].gen)
 	}
 	for _, L := range []int{1, 2, 4} {
-		exact := Ratio(gen, L)
-		emp := EmpiricalRatio(gen, L)
+		exact := mustRatio(t, gen, L)
+		emp := mustEmpirical(t, gen, L)
 		if math.Abs(exact-emp) > 0.01 {
 			t.Errorf("L=%d: exact %g vs empirical %g", L, exact, emp)
 		}

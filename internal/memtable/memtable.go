@@ -10,6 +10,7 @@ package memtable
 import (
 	"sort"
 
+	"repro/internal/adaptive"
 	"repro/internal/tvlist"
 )
 
@@ -43,6 +44,12 @@ type MemTable struct {
 	chunks   map[string]*tvlist.TVList[float64]
 	arrayLen int
 	points   int
+	// sketches, when non-nil, holds one adaptive disorder sketch per
+	// sensor, updated on every Write. A fresh memtable starts with
+	// fresh (zero) sketches: sketch state never survives the flush
+	// rotation — cross-generation memory lives in the planner, not
+	// here.
+	sketches map[string]*adaptive.Sketch
 }
 
 // New creates an empty working memtable whose TVLists use the given
@@ -71,6 +78,36 @@ func (m *MemTable) Write(sensor string, t int64, v float64) {
 	}
 	c.Put(t, v)
 	m.points++
+	if m.sketches != nil {
+		sk := m.sketches[sensor]
+		if sk == nil {
+			sk = &adaptive.Sketch{}
+			m.sketches[sensor] = sk
+		}
+		sk.Observe(t)
+	}
+}
+
+// TrackDisorder enables per-sensor adaptive disorder sketches: every
+// subsequent Write also feeds the sensor's sketch (O(1) per point).
+// Call it on a fresh memtable, before any writes, under the same
+// serialization that guards Write.
+func (m *MemTable) TrackDisorder() {
+	if m.sketches == nil {
+		m.sketches = make(map[string]*adaptive.Sketch)
+	}
+}
+
+// Sketch returns a snapshot of the sensor's disorder sketch. ok is
+// false when disorder tracking is off or the sensor has no data. Like
+// every MemTable accessor it must be called under the engine's
+// serialization (or after the memtable turned immutable).
+func (m *MemTable) Sketch(sensor string) (adaptive.Snapshot, bool) {
+	sk := m.sketches[sensor]
+	if sk == nil {
+		return adaptive.Snapshot{}, false
+	}
+	return sk.Snapshot(), true
 }
 
 // Chunk returns the sensor's TVList, or nil if the sensor has no data.

@@ -686,6 +686,17 @@ func (c *Client) StatsFull() (engine.Stats, []engine.Stats, error) {
 			return st, per, err
 		}
 	}
+	if p.remaining() == 0 {
+		return st, per, nil // version-7 payload: no adaptive-sort extension
+	}
+	if err := p.adaptiveStats(&st); err != nil {
+		return st, per, err
+	}
+	for i := range per {
+		if err := p.adaptiveStats(&per[i]); err != nil {
+			return st, per, err
+		}
+	}
 	return st, per, nil
 }
 

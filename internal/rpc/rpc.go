@@ -64,11 +64,17 @@
 //	    pipelined connections, legacy connections — all varints) for
 //	    the aggregate, then one per shard (per-shard blocks are
 //	    zeros: the dispatch queue is server-level).
+//	8 — OpStats appends an adaptive-sort extension after the ingest
+//	    blocks: one block (enabled flag, sketch-seeded flushes, search
+//	    iterations saved, fixed-L sorts, seeded sorts, flat routes,
+//	    interface routes, min chosen L, max chosen L — all varints)
+//	    for the aggregate, then one per shard. Framing is unchanged:
+//	    tagged frames still require only min(client, server) >= 7.
 //
 // Extensions are strictly trailing, so a newer client reads an older
 // payload by what remains: the per-shard, durability, pruning,
-// read-amplification, label-index and ingest extensions are each
-// detected by remaining payload bytes.
+// read-amplification, label-index, ingest and adaptive-sort
+// extensions are each detected by remaining payload bytes.
 package rpc
 
 import (
@@ -96,7 +102,7 @@ const (
 
 // ProtocolVersion is the version byte this build speaks. Bump it when
 // the wire format changes shape; the handshake surfaces the mismatch.
-const ProtocolVersion = 7
+const ProtocolVersion = 8
 
 // Response status bytes. Versions <= 6 know only OK and Error;
 // StatusOverloaded is only ever sent on a version-7 tagged connection
@@ -526,6 +532,47 @@ func appendIngestStats(b []byte, st engine.Stats) []byte {
 	b = binary.AppendVarint(b, st.PipelinedConns)
 	b = binary.AppendVarint(b, st.LegacyConns)
 	return b
+}
+
+// appendAdaptiveStats encodes the version-8 adaptive-sort counters for
+// one stats snapshot. The block trails the ingest extension so older
+// clients, which stop reading earlier, are unaffected.
+func appendAdaptiveStats(b []byte, st engine.Stats) []byte {
+	var enabled int64
+	if st.AdaptiveSortEnabled {
+		enabled = 1
+	}
+	b = binary.AppendVarint(b, enabled)
+	b = binary.AppendVarint(b, st.SketchSeededFlushes)
+	b = binary.AppendVarint(b, st.SearchItersSaved)
+	b = binary.AppendVarint(b, st.AdaptiveFixedSorts)
+	b = binary.AppendVarint(b, st.AdaptiveSeededSorts)
+	b = binary.AppendVarint(b, st.AdaptiveFlatRoutes)
+	b = binary.AppendVarint(b, st.AdaptiveIfaceRoutes)
+	b = binary.AppendVarint(b, st.AdaptiveMinL)
+	b = binary.AppendVarint(b, st.AdaptiveMaxL)
+	return b
+}
+
+// adaptiveStats decodes one adaptive-sort block into st (the inverse
+// of appendAdaptiveStats).
+func (p *payloadReader) adaptiveStats(st *engine.Stats) error {
+	enabled, err := p.varint()
+	if err != nil {
+		return err
+	}
+	st.AdaptiveSortEnabled = enabled != 0
+	for _, dst := range []*int64{
+		&st.SketchSeededFlushes, &st.SearchItersSaved,
+		&st.AdaptiveFixedSorts, &st.AdaptiveSeededSorts,
+		&st.AdaptiveFlatRoutes, &st.AdaptiveIfaceRoutes,
+		&st.AdaptiveMinL, &st.AdaptiveMaxL,
+	} {
+		if *dst, err = p.varint(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ingestStats decodes one ingest-front-end block into st (the inverse

@@ -564,10 +564,10 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 		// version-2 per-shard extension (absent shards encode as 0, so
 		// clients against a bare engine see an empty breakdown), then
 		// the version-3 durability, version-4 pruning, version-5
-		// read-amplification, version-6 label-index and version-7
-		// ingest extensions in the same aggregate-then-per-shard
-		// shape. Older clients stop reading before the extensions they
-		// do not know.
+		// read-amplification, version-6 label-index, version-7 ingest
+		// and version-8 adaptive-sort extensions in the same
+		// aggregate-then-per-shard shape. Older clients stop reading
+		// before the extensions they do not know.
 		var resp []byte
 		if sb, ok := s.eng.(shardedBackend); ok {
 			merged, per := sb.StatsAll()
@@ -597,6 +597,10 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			for _, shardStats := range per {
 				resp = appendIngestStats(resp, shardStats)
 			}
+			resp = appendAdaptiveStats(resp, merged)
+			for _, shardStats := range per {
+				resp = appendAdaptiveStats(resp, shardStats)
+			}
 		} else {
 			st := s.eng.Stats()
 			s.frontendStats(&st)
@@ -607,6 +611,7 @@ func (s *Server) dispatch(op byte, payload []byte) ([]byte, error) {
 			resp = appendReadAmp(resp, st)
 			resp = appendIndexStats(resp, st)
 			resp = appendIngestStats(resp, st)
+			resp = appendAdaptiveStats(resp, st)
 		}
 		return resp, nil
 

@@ -392,6 +392,7 @@ func MergeStats(per []engine.Stats) engine.Stats {
 	m.FlushWorkers = per[0].FlushWorkers
 	m.SortParallelism = per[0].SortParallelism
 	m.FlatSortThreshold = per[0].FlatSortThreshold
+	m.AdaptiveSortEnabled = per[0].AdaptiveSortEnabled
 	var flushWeight, lockWeight float64
 	for _, s := range per {
 		m.FlushCount += s.FlushCount
@@ -404,6 +405,20 @@ func MergeStats(per []engine.Stats) engine.Stats {
 		m.InterfaceSorts += s.InterfaceSorts
 		m.FlatSortMillis += s.FlatSortMillis
 		m.InterfaceSortMillis += s.InterfaceSortMillis
+		m.SketchSeededFlushes += s.SketchSeededFlushes
+		m.SearchItersSaved += s.SearchItersSaved
+		m.AdaptiveFixedSorts += s.AdaptiveFixedSorts
+		m.AdaptiveSeededSorts += s.AdaptiveSeededSorts
+		m.AdaptiveFlatRoutes += s.AdaptiveFlatRoutes
+		m.AdaptiveIfaceRoutes += s.AdaptiveIfaceRoutes
+		// The chosen-L histogram summary merges min-of-mins and
+		// max-of-maxes; 0 means a shard has no planned sort yet.
+		if s.AdaptiveMinL > 0 && (m.AdaptiveMinL == 0 || s.AdaptiveMinL < m.AdaptiveMinL) {
+			m.AdaptiveMinL = s.AdaptiveMinL
+		}
+		if s.AdaptiveMaxL > m.AdaptiveMaxL {
+			m.AdaptiveMaxL = s.AdaptiveMaxL
+		}
 		m.LockWaits += s.LockWaits
 		m.QueriesBlocked += s.QueriesBlocked
 		m.WALSyncs += s.WALSyncs

@@ -82,8 +82,16 @@ func valuesHoldRefs[V any]() bool {
 // the 2·O(n) copy cost is far below the constant-factor savings, and
 // keeps small lists on EnsureSorted.
 func (l *TVList[V]) EnsureSortedFlat(opts core.FlatOptions) bool {
+	_, sorted := l.EnsureSortedFlatTrace(opts)
+	return sorted
+}
+
+// EnsureSortedFlatTrace is EnsureSortedFlat returning the kernel's
+// Trace as well, so callers that plan block sizes — the adaptive sort
+// path — can observe the L the sort actually ran with.
+func (l *TVList[V]) EnsureSortedFlatTrace(opts core.FlatOptions) (core.Trace, bool) {
 	if l.sorted {
-		return false
+		return core.Trace{}, false
 	}
 	n := l.size
 	buf := getFlatBuf[V](n)
@@ -96,7 +104,7 @@ func (l *TVList[V]) EnsureSortedFlat(opts core.FlatOptions) bool {
 		copy(buf.v[i:end], l.values[blk][:end-i])
 		i = end
 	}
-	core.SortFlat(buf.t, buf.v, opts)
+	tr := core.SortFlat(buf.t, buf.v, opts)
 	for i, blk := 0, 0; i < n; blk++ {
 		end := i + l.arrayLen
 		if end > n {
@@ -108,5 +116,5 @@ func (l *TVList[V]) EnsureSortedFlat(opts core.FlatOptions) bool {
 	}
 	putFlatBuf(buf)
 	l.sorted = true
-	return true
+	return tr, true
 }
